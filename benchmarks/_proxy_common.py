@@ -1,0 +1,58 @@
+"""Shared data collection for the §7 proxy-model benchmarks (Figs. 10-12).
+
+Collecting exploration data and labeling a uniform test set with the
+simulator is the expensive part; the three proxy benches share one
+cached collection run.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+from repro.agents import make_agent, run_agent
+from repro.core.dataset import ArchGymDataset
+from repro.envs.dram import DRAMGymEnv
+
+TARGETS = ("latency", "power", "energy")
+DIVERSE_AGENTS = ("rw", "ga", "aco", "bo")
+SAMPLES_PER_AGENT = 400
+TEST_SET_SIZE = 150
+
+
+def make_env() -> DRAMGymEnv:
+    return DRAMGymEnv(workload="cloud-1", objective="power",
+                      n_requests=300, cache_size=0)
+
+
+@lru_cache(maxsize=1)
+def collect_datasets() -> Tuple[ArchGymDataset, ArchGymDataset]:
+    """(diverse multi-agent dataset, ACO-only dataset) of equal size."""
+    env = make_env()
+    diverse = ArchGymDataset()
+    env.attach_dataset(diverse)
+    for name in DIVERSE_AGENTS:
+        agent = make_agent(name, env.action_space, seed=5)
+        run_agent(agent, env, n_samples=SAMPLES_PER_AGENT, seed=5)
+    env.detach_dataset()
+
+    env2 = make_env()
+    aco_only = ArchGymDataset()
+    env2.attach_dataset(aco_only)
+    agent = make_agent("aco", env2.action_space, seed=6)
+    run_agent(agent, env2, n_samples=SAMPLES_PER_AGENT * len(DIVERSE_AGENTS), seed=6)
+    env2.detach_dataset()
+    return diverse, aco_only
+
+
+@lru_cache(maxsize=1)
+def uniform_test_set() -> Tuple[np.ndarray, np.ndarray]:
+    """A simulator-labeled test set drawn uniformly from the space."""
+    env = make_env()
+    rng = np.random.default_rng(99)
+    actions = [env.action_space.sample(rng) for _ in range(TEST_SET_SIZE)]
+    X = np.stack([env.action_space.to_unit_vector(a) for a in actions])
+    Y = np.array([[env.evaluate(a)[t] for t in TARGETS] for a in actions])
+    return X, Y

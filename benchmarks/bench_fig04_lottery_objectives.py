@@ -1,0 +1,87 @@
+"""Fig. 4 — hyperparameter lottery across target objectives (DRAMGym).
+
+Paper experiment: for each optimization objective (low power, low
+latency, joint) and each memory trace, sweep every agent's
+hyperparameters and look at the distribution of outcomes. Claims to
+reproduce:
+
+1. per-agent outcome distributions have large spread (the lottery),
+2. each agent's *best* ticket is competitive with every other agent's
+   best — no algorithm dominates.
+
+Scaled down: 2 traces x 3 objectives, 4 lottery tickets per agent,
+120 simulator samples per ticket.
+"""
+
+import pytest
+
+from repro.agents import AGENT_NAMES
+from repro.envs.dram import DRAMGymEnv
+from repro.sweeps import run_lottery_sweep
+
+TRACES = ("stream", "random")
+OBJECTIVES = ("power", "latency", "joint")
+N_TRIALS = 4
+N_SAMPLES = 120
+
+
+def run_fig4():
+    reports = {}
+    for trace in TRACES:
+        for objective in OBJECTIVES:
+            factory = lambda t=trace, o=objective: DRAMGymEnv(
+                workload=t, objective=o, n_requests=300
+            )
+            reports[(trace, objective)] = run_lottery_sweep(
+                factory, agents=AGENT_NAMES,
+                n_trials=N_TRIALS, n_samples=N_SAMPLES, seed=42,
+            )
+    return reports
+
+
+def test_fig4_hyperparameter_lottery_across_objectives(run_once):
+    reports = run_once(run_fig4)
+
+    print("\n=== Fig. 4: hyperparameter lottery, DRAMGym ===")
+    spreads = []
+    for (trace, objective), report in reports.items():
+        print(f"\n[{trace} / {objective}]")
+        print(report.print_table())
+        spreads.extend(report.spread(a) for a in AGENT_NAMES)
+
+    # claim 1: the lottery exists — hyperparameter choice causes real
+    # spread in outcomes for a substantial share of (agent, setting) cells
+    nonzero = [s for s in spreads if s > 1.0]
+    assert len(nonzero) >= len(spreads) // 3, (
+        f"expected widespread hyperparameter sensitivity, got spreads={spreads}"
+    )
+
+    # claim 2: with its best ticket, every agent is competitive in most
+    # settings (normalized best >= 0.5 of the winner)
+    weak_cells = 0
+    total_cells = 0
+    for report in reports.values():
+        norm = report.normalized_best()
+        for agent, score in norm.items():
+            total_cells += 1
+            if score < 0.5:
+                weak_cells += 1
+    assert weak_cells <= total_cells // 4, (
+        f"{weak_cells}/{total_cells} agent/setting cells fell below 0.5 of "
+        "the best agent — contradicts 'no one solution is necessarily better'"
+    )
+
+
+@pytest.mark.parametrize("objective", OBJECTIVES)
+def test_fig4_single_objective_sweep(run_once, objective):
+    """Per-objective benchmark entry (one trace) with timing."""
+    report = run_once(
+        lambda: run_lottery_sweep(
+            lambda: DRAMGymEnv(workload="stream", objective=objective, n_requests=300),
+            agents=("rw", "ga", "aco"),
+            n_trials=2, n_samples=60, seed=1,
+        )
+    )
+    print(f"\n[Fig. 4 entry: stream/{objective}]")
+    print(report.print_table())
+    assert all(len(v) == 2 for v in report.results.values())

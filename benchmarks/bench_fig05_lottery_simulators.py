@@ -1,0 +1,115 @@
+"""Fig. 5 — hyperparameter lottery across simulators / system complexity.
+
+Paper experiment: run the lottery sweep on all four environments
+(component level: DRAMGym; IP level: TimeloopGym; SoC level: FARSIGym;
+mapping: MaestroGym). Claims to reproduce:
+
+1. the lottery appears at every level of system complexity,
+2. each agent's best ticket remains competitive on every environment
+   (including FARSIGym where lower distance is better — handled by the
+   driver's fitness orientation).
+
+Scaled down: 4 tickets x 100 samples per agent per environment.
+"""
+
+from repro.agents import AGENT_NAMES
+from repro.envs.dram import DRAMGymEnv
+from repro.envs.farsi_env import FARSIGymEnv
+from repro.envs.maestro_env import MaestroGymEnv
+from repro.envs.timeloop_env import TimeloopGymEnv
+from repro.sweeps import run_lottery_sweep
+
+#: (label, factory) — the paper's Fig. 5 panels with their workloads.
+PANELS = (
+    ("DRAMGym/stream", lambda: DRAMGymEnv(workload="stream", objective="latency",
+                                          n_requests=300)),
+    ("TimeloopGym/resnet50", lambda: TimeloopGymEnv(workload="resnet50",
+                                                    objective="latency")),
+    ("FARSIGym/edge_detection", lambda: FARSIGymEnv(workload="edge_detection")),
+    ("MaestroGym/resnet18", lambda: MaestroGymEnv(workload="resnet18")),
+)
+
+N_TRIALS = 4
+N_SAMPLES = 100
+
+
+def run_fig5():
+    return {
+        label: run_lottery_sweep(
+            factory, agents=AGENT_NAMES,
+            n_trials=N_TRIALS, n_samples=N_SAMPLES, seed=23,
+        )
+        for label, factory in PANELS
+    }
+
+
+def test_fig5_lottery_across_simulators(run_once):
+    reports = run_once(run_fig5)
+
+    print("\n=== Fig. 5: hyperparameter lottery across simulators ===")
+    for label, report in reports.items():
+        print(f"\n[{label}]")
+        print(report.print_table())
+
+    # claim 1: spread exists on every panel for at least some agents
+    for label, report in reports.items():
+        spreads = [report.spread(a) for a in AGENT_NAMES]
+        assert max(spreads) > 0.5, f"no lottery on {label}: {spreads}"
+
+    # claim 2: per panel, every agent's best ticket is competitive *on the
+    # objective metric* (the paper's notion of optimality is meeting the
+    # user-defined target, not the magnitude of the hyperbolic reward,
+    # which is winner-take-all near the target)
+    for label, report in reports.items():
+        competitive = _competitiveness(label, report)
+        weak = [a for a, ok in competitive.items() if not ok]
+        assert len(weak) <= 1, (
+            f"on {label}, agents {weak} were not competitive"
+        )
+
+
+def _competitiveness(label, report):
+    """Per-agent: is the best design close to the overall winner in the
+    panel's native objective units?"""
+    if label.startswith("DRAMGym") or label.startswith("TimeloopGym"):
+        # target-style objective: compare |observed - target| gaps. The
+        # env derives its latency target; recover it from the reward spec.
+        probe = dict(PANELS)[label]()
+        target = probe.reward_spec.target
+        gaps = {
+            a: abs(report.best_result(a).best_metrics["latency"] - target) / target
+            for a in AGENT_NAMES
+        }
+        best = min(gaps.values())
+        return {a: g <= best + 0.15 for a, g in gaps.items()}
+    if label.startswith("FARSIGym"):
+        # distance-to-budget: competitive if within 0.5 of the winner
+        dists = {a: report.best_result(a).best_reward for a in AGENT_NAMES}
+        best = min(dists.values())
+        return {a: d <= best + 0.5 for a, d in dists.items()}
+    # MaestroGym: runtime ratio
+    runtimes = {
+        a: report.best_result(a).best_metrics["runtime"] for a in AGENT_NAMES
+    }
+    best = min(runtimes.values())
+    return {a: r <= 1.5 * best for a, r in runtimes.items()}
+
+
+def test_fig5_farsi_distance_orientation(run_once):
+    """FARSI's panel reports *distance* (lower better); verify the sweep
+    surfaces designs meeting budgets (distance 0) for at least one agent."""
+    report = run_once(
+        lambda: run_lottery_sweep(
+            lambda: FARSIGymEnv(workload="edge_detection"),
+            agents=("rw", "ga", "aco"),
+            n_trials=3, n_samples=120, seed=5,
+        )
+    )
+    print("\n[Fig. 5c focus] best distance per agent:")
+    reached = 0
+    for agent in ("rw", "ga", "aco"):
+        best = report.best_result(agent)
+        distance = best.best_reward
+        print(f"  {agent}: distance={distance:.4f}")
+        reached += distance == 0.0
+    assert reached >= 1, "no agent met the SoC budgets"

@@ -1,0 +1,79 @@
+"""Fig. 6 — GAMMA's domain-specific operators vs vanilla GA (MAESTRO).
+
+Paper experiment: compare GAMMA (GA with aging/growth/reordering) and
+its ablations (GA-V1, GA+RO, GA+AG, GA+GR) against ArchGym's vanilla GA
+on the MAESTRO mapping problem for ResNet18 and VGG16, with a
+hyperparameter sweep per variant. Claims to reproduce:
+
+1. all GA variants find comparable best mappings (domain-specific
+   operators are not decisive),
+2. the well-tuned vanilla ArchGym GA is competitive with (or better
+   than) GAMMA.
+"""
+
+import numpy as np
+
+from repro.agents import GAMMA_VARIANTS, make_gamma_variant, run_agent
+from repro.agents.ga import GAAgent
+from repro.agents.hyperparams import sample_hyperparams
+from repro.envs.maestro_env import MaestroGymEnv
+
+WORKLOADS = ("resnet18", "vgg16")
+N_TRIALS = 4
+N_SAMPLES = 240
+
+
+def run_fig6():
+    rng = np.random.default_rng(0)
+    results = {}  # (workload, variant) -> best runtime over sweep
+    for workload in WORKLOADS:
+        for variant in GAMMA_VARIANTS + ("GA ArchGym",):
+            best_runtime = np.inf
+            for __ in range(N_TRIALS):
+                env = MaestroGymEnv(workload=workload)
+                seed = int(rng.integers(2**31 - 1))
+                if variant == "GA ArchGym":
+                    hp = sample_hyperparams("ga", rng)
+                    agent = GAAgent(env.action_space, seed=seed, **hp)
+                else:
+                    hp = sample_hyperparams("gamma", rng)
+                    agent = make_gamma_variant(variant, env.action_space,
+                                               seed=seed, **hp)
+                res = run_agent(agent, env, n_samples=N_SAMPLES, seed=seed)
+                if res.best_metrics.get("feasible"):
+                    best_runtime = min(best_runtime, res.best_metrics["runtime"])
+            results[(workload, variant)] = best_runtime
+    return results
+
+
+def test_fig6_gamma_vs_vanilla_ga(run_once):
+    results = run_once(run_fig6)
+
+    print("\n=== Fig. 6: GAMMA operators vs vanilla GA (best runtime, ms) ===")
+    variants = GAMMA_VARIANTS + ("GA ArchGym",)
+    header = f"{'workload':10s}" + "".join(f"{v:>12s}" for v in variants)
+    print(header)
+    for workload in WORKLOADS:
+        row = f"{workload:10s}" + "".join(
+            f"{results[(workload, v)]:>12.2f}" for v in variants
+        )
+        print(row)
+
+    for workload in WORKLOADS:
+        runtimes = {v: results[(workload, v)] for v in variants}
+        assert all(np.isfinite(r) for r in runtimes.values()), (
+            f"some variant found no feasible mapping on {workload}: {runtimes}"
+        )
+        best = min(runtimes.values())
+
+        # claim 1: every variant is within 2x of the best (comparable)
+        for v, r in runtimes.items():
+            assert r <= 2.0 * best, (
+                f"{v} on {workload} is far off the pace: {r:.2f} vs best {best:.2f}"
+            )
+
+        # claim 2: vanilla ArchGym GA competitive with full GAMMA
+        assert runtimes["GA ArchGym"] <= 1.5 * runtimes["GAMMA"], (
+            f"vanilla GA not competitive on {workload}: "
+            f"{runtimes['GA ArchGym']:.2f} vs GAMMA {runtimes['GAMMA']:.2f}"
+        )

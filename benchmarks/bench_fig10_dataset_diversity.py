@@ -1,0 +1,70 @@
+"""Fig. 10 — proxy RMSE vs dataset size and diversity.
+
+Paper experiment: train random-forest proxies on datasets of growing
+size, constructed either from a single agent's exploration (ACO-only)
+or from all agents' merged trajectories (diverse), and evaluate on a
+common simulator-labeled test set. Claims to reproduce:
+
+1. RMSE drops as dataset size grows (size matters),
+2. at matched sizes, the diverse dataset yields lower RMSE than the
+   single-source dataset, with the gap most visible at larger sizes
+   (diversity matters — the paper reports up to 42x average RMSE
+   reduction with both effects combined).
+"""
+
+import numpy as np
+
+from repro.proxy import ProxyCostModel
+
+from _proxy_common import TARGETS, collect_datasets, make_env, uniform_test_set
+
+SIZES = (100, 400, 1200)
+
+
+def run_fig10():
+    diverse, aco_only = collect_datasets()
+    X_test, Y_test = uniform_test_set()
+    env = make_env()
+    rng = np.random.default_rng(3)
+
+    rmse_table = {}  # (source, size) -> {target: relative rmse}
+    for size in SIZES:
+        subsets = {
+            "diverse": diverse.sample_balanced(size, rng),
+            "aco_only": aco_only.sample(size, rng),
+        }
+        for source, subset in subsets.items():
+            proxy = ProxyCostModel(env.action_space, TARGETS).fit_with_search(
+                subset, n_trials=4, seed=0
+            )
+            rmse_table[(source, size)] = proxy.evaluate_relative(X_test, Y_test)
+    return rmse_table
+
+
+def test_fig10_dataset_size_and_diversity(run_once):
+    rmse_table = run_once(run_fig10)
+
+    print("\n=== Fig. 10: proxy relative RMSE (%) on a common test set ===")
+    print(f"{'size':>6s} " + "".join(
+        f"{src + ':' + t:>18s}" for src in ("diverse", "aco_only") for t in TARGETS
+    ))
+    for size in SIZES:
+        row = f"{size:>6d} "
+        for src in ("diverse", "aco_only"):
+            for t in TARGETS:
+                row += f"{rmse_table[(src, size)][t] * 100:>18.2f}"
+        print(row)
+
+    def mean_rmse(source, size):
+        return float(np.mean([rmse_table[(source, size)][t] for t in TARGETS]))
+
+    # claim 1: size helps (both sources improve from smallest to largest)
+    for source in ("diverse", "aco_only"):
+        assert mean_rmse(source, SIZES[-1]) <= mean_rmse(source, SIZES[0]) * 1.1, (
+            f"{source}: RMSE did not drop with size"
+        )
+
+    # claim 2: diversity helps at the largest size
+    assert mean_rmse("diverse", SIZES[-1]) < mean_rmse("aco_only", SIZES[-1]), (
+        "diverse dataset was not better than single-source at matched size"
+    )

@@ -1,0 +1,67 @@
+"""Data-driven offline optimization from logged ArchGym datasets (§8).
+
+The paper argues ArchGym's standardized datasets unlock data-driven
+offline methods (PRIME-style optimization, offline RL): learn the cost
+surface from *logged* exploration, then spend only a handful of live
+simulator queries. This example:
+
+1. replays a previously collected multi-agent dataset (collected here
+   for self-containedness),
+2. warm-starts an `OfflineAgent` from it,
+3. gives it a tiny online budget (25 simulator queries) and compares
+   against agents that must start from scratch.
+
+Run:  python examples/offline_optimization.py
+"""
+
+import repro
+from repro.agents import OfflineAgent, make_agent, run_agent
+from repro.core.dataset import ArchGymDataset
+
+ONLINE_BUDGET = 25
+
+
+def make_env():
+    return repro.make("TimeloopGym-v0", workload="resnet50", objective="latency")
+
+
+def main() -> None:
+    # 1. offline phase: log exploration from cheap agents
+    env = make_env()
+    logged = ArchGymDataset()
+    env.attach_dataset(logged)
+    for name in ("rw", "ga", "aco"):
+        agent = make_agent(name, env.action_space, seed=4)
+        run_agent(agent, env, n_samples=250, seed=4)
+    env.detach_dataset()
+    print(f"logged dataset: {len(logged)} transitions, "
+          f"{len(logged.sources)} sources")
+
+    # 2. online phase: tiny simulator budget
+    print(f"\nonline budget: {ONLINE_BUDGET} simulator queries")
+    contenders = {}
+
+    offline_env = make_env()
+    offline = OfflineAgent(offline_env.action_space, seed=9, dataset=logged,
+                           exploration=0.1)
+    contenders["offline (warm)"] = run_agent(
+        offline, offline_env, n_samples=ONLINE_BUDGET, seed=9
+    )
+
+    for name in ("rw", "ga", "bo"):
+        cold_env = make_env()
+        agent = make_agent(name, cold_env.action_space, seed=9)
+        contenders[f"{name} (cold)"] = run_agent(
+            agent, cold_env, n_samples=ONLINE_BUDGET, seed=9
+        )
+
+    print(f"\n{'agent':16s} {'best latency (ms)':>18s} {'reward':>10s}")
+    for label, result in sorted(
+        contenders.items(), key=lambda kv: kv[1].best_metrics["latency"]
+    ):
+        print(f"{label:16s} {result.best_metrics['latency']:>18.3f} "
+              f"{result.best_reward:>10.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Quickstart: the ArchGym loop in ~30 lines.
+
+Builds the DRAM memory-controller environment, runs a random-walker
+agent for a few hundred simulator queries, and prints the best design
+found for a 1 W power target.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro
+from repro.agents import RandomWalkerAgent, run_agent
+
+
+def main() -> None:
+    # 1. An environment = architecture cost model + workload + objective.
+    env = repro.make(
+        "DRAMGym-v0",
+        workload="pointer_chase",   # the Table 4 trace
+        objective="power",
+        power_target_w=1.0,         # the paper's Table 4 goal
+        n_requests=800,
+    )
+    print(f"environment: {env!r}")
+    print(f"action space: {env.action_space.dimension} parameters, "
+          f"{env.action_space.cardinality:.3g} design points")
+
+    # 2. An agent = policy + hyperparameters, speaking the gym interface.
+    agent = RandomWalkerAgent(env.action_space, seed=0, locality=0.3)
+
+    # 3. The driver loop: propose -> simulate -> observe.
+    result = run_agent(agent, env, n_samples=300, seed=0)
+
+    # 4. Results.
+    print(f"\nbest reward: {result.best_reward:.3f}  "
+          f"(power = {result.best_metrics['power']:.3f} W, "
+          f"target met: {result.target_met})")
+    print("best design:")
+    for name, value in sorted(result.best_action.items()):
+        print(f"  {name:22s} = {value}")
+
+
+if __name__ == "__main__":
+    main()

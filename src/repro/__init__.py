@@ -1,0 +1,44 @@
+"""ArchGym reproduction — an open-source gymnasium for ML-assisted
+architecture design space exploration (Krishnan et al., ISCA 2023).
+
+Quickstart::
+
+    import numpy as np
+    import repro
+
+    env = repro.make("DRAMGym-v0", workload="stream", objective="power")
+    obs, info = env.reset(seed=0)
+    action = env.action_space.sample(np.random.default_rng(0))
+    obs, reward, terminated, truncated, info = env.step(action)
+
+See ``repro.agents`` for the five search algorithms and
+``repro.proxy`` for dataset-driven proxy cost models.
+"""
+
+from repro.core import (
+    ArchGymDataset,
+    ArchGymEnv,
+    ArchGymError,
+    CompositeSpace,
+    Transition,
+    make,
+    register,
+    registered_ids,
+)
+
+# importing repro.envs registers the four paper environments
+import repro.envs  # noqa: F401  (import for registration side effect)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchGymDataset",
+    "ArchGymEnv",
+    "ArchGymError",
+    "CompositeSpace",
+    "Transition",
+    "make",
+    "register",
+    "registered_ids",
+    "__version__",
+]

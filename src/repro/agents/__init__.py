@@ -1,0 +1,41 @@
+"""Search agents: ACO, BO, GA, RW, RL, and GAMMA (paper §3.2, §4)."""
+
+from repro.agents.aco import ACOAgent
+from repro.agents.base import Agent, SearchResult, run_agent
+from repro.agents.bo import ACQUISITIONS, BOAgent
+from repro.agents.ga import GAAgent
+from repro.agents.gamma import GAMMA_VARIANTS, GammaAgent, make_gamma_variant
+from repro.agents.gp import GaussianProcess, robust_standardize
+from repro.agents.offline import OfflineAgent
+from repro.agents.hyperparams import (
+    AGENT_NAMES,
+    HYPERPARAM_GRIDS,
+    iter_hyperparams,
+    make_agent,
+    sample_hyperparams,
+)
+from repro.agents.random_walker import RandomWalkerAgent
+from repro.agents.rl import RLAgent
+
+__all__ = [
+    "Agent",
+    "SearchResult",
+    "run_agent",
+    "ACOAgent",
+    "BOAgent",
+    "ACQUISITIONS",
+    "GAAgent",
+    "GammaAgent",
+    "GAMMA_VARIANTS",
+    "make_gamma_variant",
+    "GaussianProcess",
+    "OfflineAgent",
+    "robust_standardize",
+    "RandomWalkerAgent",
+    "RLAgent",
+    "AGENT_NAMES",
+    "HYPERPARAM_GRIDS",
+    "make_agent",
+    "sample_hyperparams",
+    "iter_hyperparams",
+]

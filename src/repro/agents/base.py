@@ -1,0 +1,165 @@
+"""Agent abstraction and the search driver loop (paper §3.2, §4).
+
+The paper decomposes every search algorithm into a *policy* plus
+*hyperparameters*, interacting with the environment through three
+signals (Q1–Q3 of Table 2):
+
+- Q1 — the agent **proposes** an action (parameter selection),
+- Q2 — the environment returns a reward/fitness the agent **observes**
+  to fine-tune its policy,
+- Q3 — the exploration/exploitation balance lives in the agent's
+  hyperparameters, fixed at construction.
+
+:class:`Agent` encodes exactly this interface; :func:`run_agent` is the
+standard driver every experiment uses — it converts environment rewards
+into a maximize-me *fitness* (FARSI's distance-to-budget is
+lower-is-better), tracks the incumbent, and resets episodes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.core.env import ArchGymEnv
+from repro.core.errors import AgentError
+from repro.core.spaces import CompositeSpace
+
+__all__ = ["Agent", "SearchResult", "run_agent"]
+
+
+class Agent:
+    """Base class for all search agents.
+
+    Subclasses implement :meth:`propose` (Q1) and :meth:`observe` (Q2),
+    and expose their exploration hyperparameters (Q3) via
+    :attr:`hyperparameters`.
+    """
+
+    #: Short algorithm tag used in dataset provenance and result tables.
+    name: str = "agent"
+
+    def __init__(self, space: CompositeSpace, seed: int = 0, **hyperparams: Any) -> None:
+        if len(space) == 0:
+            raise AgentError("search space has no parameters")
+        self.space = space
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self._hyperparams: Dict[str, Any] = dict(hyperparams)
+
+    @property
+    def hyperparameters(self) -> Dict[str, Any]:
+        """The agent's exploration/exploitation knobs (Q3)."""
+        return dict(self._hyperparams)
+
+    def hyperparam_tag(self) -> str:
+        """A stable provenance string: ``name[k=v,...]``."""
+        inner = ",".join(f"{k}={v}" for k, v in sorted(self._hyperparams.items()))
+        return f"{self.name}[{inner}]"
+
+    # -- the Q1/Q2 interface -------------------------------------------------------
+
+    def propose(self) -> Dict[str, Any]:
+        """Select the next design point to evaluate (Q1)."""
+        raise NotImplementedError
+
+    def observe(self, action: Mapping[str, Any], fitness: float,
+                metrics: Mapping[str, float]) -> None:
+        """Incorporate the feedback for ``action`` (Q2).
+
+        ``fitness`` is always maximize-me: the driver negates
+        lower-is-better rewards before calling this.
+        """
+        raise NotImplementedError
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one agent run on one environment."""
+
+    agent: str
+    hyperparameters: Dict[str, Any]
+    n_samples: int
+    best_action: Dict[str, Any]
+    best_fitness: float
+    best_reward: float
+    best_metrics: Dict[str, float]
+    reward_history: List[float] = field(default_factory=list)
+    best_fitness_history: List[float] = field(default_factory=list)
+    target_met: bool = False
+    wall_time_s: float = 0.0
+
+    def fitness_at(self, n: int) -> float:
+        """Best fitness after the first ``n`` samples (sample-budget view,
+        Fig. 7)."""
+        if n < 1:
+            raise AgentError("sample budget must be >= 1")
+        idx = min(n, len(self.best_fitness_history)) - 1
+        return self.best_fitness_history[idx]
+
+
+def run_agent(
+    agent: Agent,
+    env: ArchGymEnv,
+    n_samples: int,
+    seed: Optional[int] = None,
+    source_tag: Optional[str] = None,
+) -> SearchResult:
+    """Drive ``agent`` against ``env`` for ``n_samples`` evaluations.
+
+    Every step is one cost-model query — the paper's normalization unit
+    for comparing algorithms (§6.2). If the environment has an attached
+    dataset, its provenance tag is set to the agent's identity so that
+    multi-agent datasets can later be sampled by source (§7.1).
+    """
+    if n_samples < 1:
+        raise AgentError("n_samples must be >= 1")
+    higher = env.reward_spec.higher_is_better
+    if env.dataset is not None:
+        env.set_source(source_tag or agent.hyperparam_tag())
+
+    start = time.perf_counter()
+    env.reset(seed=seed)
+
+    best_fitness = -np.inf
+    best_action: Dict[str, Any] = {}
+    best_reward = 0.0
+    best_metrics: Dict[str, float] = {}
+    target_met = False
+    reward_history: List[float] = []
+    best_history: List[float] = []
+
+    for _ in range(n_samples):
+        action = agent.propose()
+        __, reward, terminated, truncated, info = env.step(action)
+        fitness = reward if higher else -reward
+        agent.observe(action, fitness, info["metrics"])
+
+        reward_history.append(reward)
+        if fitness > best_fitness:
+            best_fitness = fitness
+            best_action = dict(action)
+            best_reward = reward
+            best_metrics = dict(info["metrics"])
+        best_history.append(best_fitness)
+        target_met = target_met or bool(info.get("target_met"))
+
+        if terminated or truncated:
+            env.reset()
+
+    return SearchResult(
+        agent=agent.name,
+        hyperparameters=agent.hyperparameters,
+        n_samples=n_samples,
+        best_action=best_action,
+        best_fitness=float(best_fitness),
+        best_reward=float(best_reward),
+        best_metrics=best_metrics,
+        reward_history=reward_history,
+        best_fitness_history=best_history,
+        target_met=target_met,
+        wall_time_s=time.perf_counter() - start,
+    )

@@ -1,0 +1,127 @@
+"""Genetic algorithm agent (paper §3.2, Table 2).
+
+The policy is the *genome* — each individual is the index-vector
+encoding of one design point. The generational loop is folded into the
+propose/observe interface: proposals drain the current generation's
+un-evaluated individuals; once the generation is fully scored, the next
+one is bred with tournament selection, uniform crossover, per-gene
+mutation, and elitism (Q3 knobs: ``mutation_rate``, ``crossover_rate``,
+``population_size``, ``elite_frac``, ``tournament_size``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.agents.base import Agent
+from repro.core.errors import AgentError
+from repro.core.spaces import CompositeSpace
+
+__all__ = ["GAAgent"]
+
+
+class GAAgent(Agent):
+    """Generational GA over index-encoded genomes."""
+
+    name = "ga"
+
+    def __init__(
+        self,
+        space: CompositeSpace,
+        seed: int = 0,
+        population_size: int = 20,
+        mutation_rate: float = 0.1,
+        crossover_rate: float = 0.8,
+        elite_frac: float = 0.1,
+        tournament_size: int = 3,
+    ) -> None:
+        if population_size < 2:
+            raise AgentError("population_size must be >= 2")
+        if not 0.0 <= mutation_rate <= 1.0:
+            raise AgentError("mutation_rate must be in [0, 1]")
+        if not 0.0 <= crossover_rate <= 1.0:
+            raise AgentError("crossover_rate must be in [0, 1]")
+        if not 0.0 <= elite_frac < 1.0:
+            raise AgentError("elite_frac must be in [0, 1)")
+        if tournament_size < 1:
+            raise AgentError("tournament_size must be >= 1")
+        super().__init__(
+            space, seed,
+            population_size=population_size,
+            mutation_rate=mutation_rate,
+            crossover_rate=crossover_rate,
+            elite_frac=elite_frac,
+            tournament_size=tournament_size,
+        )
+        self.population_size = population_size
+        self.mutation_rate = mutation_rate
+        self.crossover_rate = crossover_rate
+        self.elite_count = max(1, int(round(elite_frac * population_size))) if elite_frac > 0 else 0
+        self.tournament_size = tournament_size
+
+        self._cards = np.array(space.cardinalities, dtype=np.int64)
+        # current generation: genomes + fitness (nan = not yet evaluated)
+        self._genomes: List[np.ndarray] = [self._random_genome() for _ in range(population_size)]
+        self._fitness = np.full(population_size, np.nan)
+        self._cursor = 0          # next individual to evaluate
+        self.generation = 0
+
+    # -- genome helpers -------------------------------------------------------------
+
+    def _random_genome(self) -> np.ndarray:
+        return np.array(
+            [self.rng.integers(c) for c in self.space.cardinalities], dtype=np.int64
+        )
+
+    def _mutate(self, genome: np.ndarray) -> np.ndarray:
+        out = genome.copy()
+        for i, c in enumerate(self._cards):
+            if c > 1 and self.rng.random() < self.mutation_rate:
+                shift = 1 + self.rng.integers(c - 1)
+                out[i] = (out[i] + shift) % c
+        return out
+
+    def _crossover(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        mask = self.rng.random(len(a)) < 0.5
+        return np.where(mask, a, b)
+
+    def _tournament(self) -> np.ndarray:
+        idx = self.rng.integers(self.population_size, size=self.tournament_size)
+        best = idx[np.argmax(self._fitness[idx])]
+        return self._genomes[int(best)]
+
+    # -- generational step ------------------------------------------------------------
+
+    def _evolve(self) -> None:
+        order = np.argsort(-self._fitness)  # descending fitness
+        next_genomes: List[np.ndarray] = [
+            self._genomes[int(i)].copy() for i in order[: self.elite_count]
+        ]
+        while len(next_genomes) < self.population_size:
+            parent_a = self._tournament()
+            if self.rng.random() < self.crossover_rate:
+                parent_b = self._tournament()
+                child = self._crossover(parent_a, parent_b)
+            else:
+                child = parent_a.copy()
+            next_genomes.append(self._mutate(child))
+        self._genomes = next_genomes
+        self._fitness = np.full(self.population_size, np.nan)
+        self._cursor = 0
+        self.generation += 1
+
+    # -- Agent interface ----------------------------------------------------------------
+
+    def propose(self) -> Dict[str, Any]:
+        if self._cursor >= self.population_size:
+            self._evolve()
+        return self.space.decode(self._genomes[self._cursor])
+
+    def observe(self, action: Mapping[str, Any], fitness: float,
+                metrics: Mapping[str, float]) -> None:
+        if self._cursor >= self.population_size:
+            raise AgentError("observe() without matching propose()")
+        self._fitness[self._cursor] = fitness
+        self._cursor += 1

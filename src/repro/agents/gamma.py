@@ -1,0 +1,171 @@
+"""GAMMA — GA with domain-specific mapping operators (paper §6.1, Fig. 6).
+
+GAMMA [52] augments a genetic algorithm with three operators designed
+for the MAESTRO mapping space:
+
+- **reordering** — re-samples the loop-order gene (a new permutation),
+- **growth** — bumps a random tile-size gene one grid step up, growing
+  the tile (mappings mostly fail by being too small to exploit reuse),
+- **aging** — every individual carries an age; survivors past
+  ``max_age`` are replaced with fresh random genomes, preserving
+  diversity.
+
+The Fig. 6 experiment compares the full operator set ("GAMMA") against
+ablated variants (GA-V1 = none, GA+RO, GA+AG, GA+GR) and ArchGym's own
+vanilla :class:`~repro.agents.ga.GAAgent`. :func:`make_gamma_variant`
+builds each by name.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.agents.ga import GAAgent
+from repro.core.errors import AgentError
+from repro.core.spaces import Categorical, CompositeSpace
+
+__all__ = ["GammaAgent", "GAMMA_VARIANTS", "make_gamma_variant"]
+
+#: Fig. 6 variant names.
+GAMMA_VARIANTS = ("GAMMA", "GA-V1", "GA+RO", "GA+AG", "GA+GR")
+
+
+class GammaAgent(GAAgent):
+    """GA extended with GAMMA's aging / growth / reordering operators."""
+
+    name = "gamma"
+
+    def __init__(
+        self,
+        space: CompositeSpace,
+        seed: int = 0,
+        population_size: int = 20,
+        mutation_rate: float = 0.1,
+        crossover_rate: float = 0.8,
+        elite_frac: float = 0.1,
+        tournament_size: int = 3,
+        use_aging: bool = True,
+        use_growth: bool = True,
+        use_reordering: bool = True,
+        growth_rate: float = 0.3,
+        reorder_rate: float = 0.3,
+        max_age: int = 4,
+        order_dim: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            space, seed,
+            population_size=population_size,
+            mutation_rate=mutation_rate,
+            crossover_rate=crossover_rate,
+            elite_frac=elite_frac,
+            tournament_size=tournament_size,
+        )
+        if max_age < 1:
+            raise AgentError("max_age must be >= 1")
+        if not 0.0 <= growth_rate <= 1.0 or not 0.0 <= reorder_rate <= 1.0:
+            raise AgentError("operator rates must be in [0, 1]")
+        self._hyperparams.update(
+            use_aging=use_aging, use_growth=use_growth,
+            use_reordering=use_reordering, growth_rate=growth_rate,
+            reorder_rate=reorder_rate, max_age=max_age,
+        )
+        self.use_aging = use_aging
+        self.use_growth = use_growth
+        self.use_reordering = use_reordering
+        self.growth_rate = growth_rate
+        self.reorder_rate = reorder_rate
+        self.max_age = max_age
+        self._order_dim_index = self._find_order_dim(order_dim)
+        self._ages = np.zeros(self.population_size, dtype=np.int64)
+
+    def _find_order_dim(self, explicit: Optional[str]) -> Optional[int]:
+        if explicit is not None:
+            if explicit not in self.space:
+                raise AgentError(f"order_dim {explicit!r} not in space")
+            return self.space.names.index(explicit)
+        for i, p in enumerate(self.space.parameters):
+            if p.name == "LoopOrder":
+                return i
+        # fall back to the widest categorical (most permutation-like)
+        best, width = None, 0
+        for i, p in enumerate(self.space.parameters):
+            if isinstance(p, Categorical) and p.cardinality > width:
+                best, width = i, p.cardinality
+        return best
+
+    # -- domain-specific operators ---------------------------------------------------
+
+    def _grow(self, genome: np.ndarray) -> np.ndarray:
+        """Bump one random gene one index up (tile sizes are ordered grids,
+        so index+1 means the next larger tile)."""
+        out = genome.copy()
+        dim = int(self.rng.integers(len(self._cards)))
+        if out[dim] + 1 < self._cards[dim]:
+            out[dim] += 1
+        return out
+
+    def _reorder(self, genome: np.ndarray) -> np.ndarray:
+        if self._order_dim_index is None:
+            return genome
+        out = genome.copy()
+        card = self._cards[self._order_dim_index]
+        if card > 1:
+            shift = 1 + int(self.rng.integers(card - 1))
+            out[self._order_dim_index] = (out[self._order_dim_index] + shift) % card
+        return out
+
+    # -- generational step with operators ----------------------------------------------
+
+    def _evolve(self) -> None:
+        order = np.argsort(-self._fitness)
+        elites = [int(i) for i in order[: self.elite_count]]
+
+        next_genomes: List[np.ndarray] = []
+        next_ages: List[int] = []
+        for i in elites:
+            if self.use_aging and self._ages[i] + 1 > self.max_age:
+                next_genomes.append(self._random_genome())
+                next_ages.append(0)
+            else:
+                next_genomes.append(self._genomes[i].copy())
+                next_ages.append(int(self._ages[i]) + 1)
+
+        while len(next_genomes) < self.population_size:
+            parent_a = self._tournament()
+            if self.rng.random() < self.crossover_rate:
+                child = self._crossover(parent_a, self._tournament())
+            else:
+                child = parent_a.copy()
+            child = self._mutate(child)
+            if self.use_growth and self.rng.random() < self.growth_rate:
+                child = self._grow(child)
+            if self.use_reordering and self.rng.random() < self.reorder_rate:
+                child = self._reorder(child)
+            next_genomes.append(child)
+            next_ages.append(0)
+
+        self._genomes = next_genomes
+        self._ages = np.array(next_ages, dtype=np.int64)
+        self._fitness = np.full(self.population_size, np.nan)
+        self._cursor = 0
+        self.generation += 1
+
+
+def make_gamma_variant(
+    variant: str, space: CompositeSpace, seed: int = 0, **hyperparams: Any
+) -> GammaAgent:
+    """Build one of Fig. 6's GA variants by name."""
+    flags = {
+        "GAMMA": dict(use_aging=True, use_growth=True, use_reordering=True),
+        "GA-V1": dict(use_aging=False, use_growth=False, use_reordering=False),
+        "GA+RO": dict(use_aging=False, use_growth=False, use_reordering=True),
+        "GA+AG": dict(use_aging=True, use_growth=False, use_reordering=False),
+        "GA+GR": dict(use_aging=False, use_growth=True, use_reordering=False),
+    }
+    if variant not in flags:
+        raise AgentError(f"unknown GAMMA variant {variant!r}; valid: {GAMMA_VARIANTS}")
+    agent = GammaAgent(space, seed, **flags[variant], **hyperparams)
+    agent._hyperparams["variant"] = variant
+    return agent

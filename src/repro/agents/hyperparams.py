@@ -1,0 +1,135 @@
+"""Hyperparameter grids for the paper's sweep experiments (§6.1).
+
+The "hyperparameter lottery" experiments sweep each agent's Q3 knobs
+and report the *distribution* of outcomes. ``HYPERPARAM_GRIDS`` defines
+the per-agent axes; :func:`sample_hyperparams` draws random
+configurations (the paper's sweeps are random rather than exhaustive at
+21,600 experiments), and :func:`make_agent` is the factory every bench
+and example uses.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Any, Dict, Iterator, List
+
+import numpy as np
+
+from repro.agents.aco import ACOAgent
+from repro.agents.base import Agent
+from repro.agents.bo import BOAgent
+from repro.agents.ga import GAAgent
+from repro.agents.gamma import GammaAgent
+from repro.agents.offline import OfflineAgent
+from repro.agents.random_walker import RandomWalkerAgent
+from repro.agents.rl import RLAgent
+from repro.core.errors import AgentError
+from repro.core.spaces import CompositeSpace
+
+__all__ = [
+    "AGENT_NAMES",
+    "HYPERPARAM_GRIDS",
+    "make_agent",
+    "sample_hyperparams",
+    "iter_hyperparams",
+]
+
+#: The five agents the paper seeds ArchGym with (§3.2).
+AGENT_NAMES = ("aco", "bo", "ga", "rw", "rl")
+
+_AGENT_CLASSES = {
+    "aco": ACOAgent,
+    "bo": BOAgent,
+    "ga": GAAgent,
+    "rw": RandomWalkerAgent,
+    "rl": RLAgent,
+    "gamma": GammaAgent,
+    "offline": OfflineAgent,
+}
+
+HYPERPARAM_GRIDS: Dict[str, Dict[str, List[Any]]] = {
+    "rw": {
+        "locality": [0.0, 0.2, 0.5, 0.8],
+    },
+    "ga": {
+        "population_size": [8, 16, 32],
+        "mutation_rate": [0.01, 0.05, 0.1, 0.25, 0.5],
+        "crossover_rate": [0.3, 0.6, 0.9],
+        "elite_frac": [0.0, 0.1, 0.2],
+        "tournament_size": [2, 3, 5],
+    },
+    "aco": {
+        "n_ants": [4, 8, 16],
+        "evaporation_rate": [0.02, 0.1, 0.3, 0.6],
+        "greediness": [0.0, 0.1, 0.3, 0.6],
+        "alpha": [0.5, 1.0, 2.0],
+    },
+    "bo": {
+        "acquisition": ["ei", "ucb", "pi"],
+        "lengthscale": [0.1, 0.2, 0.3, 0.5],
+        "kappa": [1.0, 2.0, 4.0],
+        "n_init": [4, 8, 16],
+    },
+    "rl": {
+        "algo": ["reinforce", "ppo"],
+        "lr": [0.005, 0.02, 0.05, 0.1],
+        "entropy_coef": [0.0, 0.01, 0.05],
+        "batch_size": [8, 16, 32],
+        "hidden_size": [16, 32, 64],
+    },
+    "gamma": {
+        "population_size": [8, 16, 32],
+        "mutation_rate": [0.05, 0.1, 0.25],
+        "growth_rate": [0.1, 0.3, 0.5],
+        "reorder_rate": [0.1, 0.3, 0.5],
+        "max_age": [2, 4, 8],
+    },
+    "offline": {
+        "exploration": [0.05, 0.1, 0.25],
+        "candidate_pool": [128, 512],
+        "refit_every": [8, 16, 32],
+        "n_estimators": [10, 20],
+    },
+}
+
+
+def make_agent(
+    name: str, space: CompositeSpace, seed: int = 0, **hyperparams: Any
+) -> Agent:
+    """Instantiate an agent by short name (``aco``/``bo``/``ga``/``rw``/
+    ``rl``/``gamma``)."""
+    try:
+        cls = _AGENT_CLASSES[name]
+    except KeyError:
+        raise AgentError(
+            f"unknown agent {name!r}; valid: {sorted(_AGENT_CLASSES)}"
+        ) from None
+    return cls(space, seed=seed, **hyperparams)
+
+
+def sample_hyperparams(name: str, rng: np.random.Generator) -> Dict[str, Any]:
+    """Draw one random hyperparameter configuration from the agent's grid."""
+    try:
+        grid = HYPERPARAM_GRIDS[name]
+    except KeyError:
+        raise AgentError(
+            f"no hyperparameter grid for agent {name!r}; have {sorted(HYPERPARAM_GRIDS)}"
+        ) from None
+    return {k: values[int(rng.integers(len(values)))] for k, values in grid.items()}
+
+
+def iter_hyperparams(name: str, limit: int = 0) -> Iterator[Dict[str, Any]]:
+    """Iterate the agent's full hyperparameter grid (optionally capped)."""
+    try:
+        grid = HYPERPARAM_GRIDS[name]
+    except KeyError:
+        raise AgentError(
+            f"no hyperparameter grid for agent {name!r}; have {sorted(HYPERPARAM_GRIDS)}"
+        ) from None
+    keys = sorted(grid)
+    count = 0
+    for combo in product(*(grid[k] for k in keys)):
+        if limit and count >= limit:
+            return
+        yield dict(zip(keys, combo))
+        count += 1

@@ -1,0 +1,42 @@
+"""Random walker agent (paper §3.2, [106]).
+
+Pure random search with a random number generator as its policy. An
+optional ``locality`` hyperparameter interpolates toward a hill-climbing
+walk: with probability ``locality`` the next proposal is a one-parameter
+neighbor of the best design seen so far instead of a uniform sample.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.agents.base import Agent
+from repro.core.errors import AgentError
+from repro.core.spaces import CompositeSpace
+
+__all__ = ["RandomWalkerAgent"]
+
+
+class RandomWalkerAgent(Agent):
+    """Uniform random search, optionally biased toward the incumbent."""
+
+    name = "rw"
+
+    def __init__(self, space: CompositeSpace, seed: int = 0, locality: float = 0.0):
+        if not 0.0 <= locality <= 1.0:
+            raise AgentError("locality must be in [0, 1]")
+        super().__init__(space, seed, locality=locality)
+        self.locality = locality
+        self._best_action: Optional[Dict[str, Any]] = None
+        self._best_fitness = float("-inf")
+
+    def propose(self) -> Dict[str, Any]:
+        if self._best_action is not None and self.rng.random() < self.locality:
+            return self.space.neighbors(self._best_action, self.rng, n=1)[0]
+        return self.space.sample(self.rng)
+
+    def observe(self, action: Mapping[str, Any], fitness: float,
+                metrics: Mapping[str, float]) -> None:
+        if fitness > self._best_fitness:
+            self._best_fitness = fitness
+            self._best_action = dict(action)

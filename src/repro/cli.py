@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``envs``
+    List registered environments and their action-space sizes.
+``agents``
+    List available agents and their hyperparameter grids.
+``run``
+    Run one agent on one environment and print the best design.
+``sweep``
+    Run a hyperparameter-lottery sweep and print the Fig. 4/5-style
+    distribution table.
+``collect``
+    Run several agents, log all trajectories, and write an ArchGym
+    dataset (JSONL) — the §3.4 pipeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+import repro
+from repro.agents import (
+    AGENT_NAMES,
+    HYPERPARAM_GRIDS,
+    make_agent,
+    run_agent,
+)
+from repro.core.dataset import ArchGymDataset
+from repro.sweeps import run_lottery_sweep
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ArchGym reproduction: ML-assisted architecture DSE.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("envs", help="list registered environments")
+
+    sub.add_parser("agents", help="list agents and hyperparameter grids")
+
+    run_p = sub.add_parser("run", help="run one agent on one environment")
+    run_p.add_argument("--env", required=True, help="environment id (see `envs`)")
+    run_p.add_argument("--agent", required=True, choices=sorted(HYPERPARAM_GRIDS))
+    run_p.add_argument("--workload", default=None, help="environment workload")
+    run_p.add_argument("--objective", default=None, help="environment objective")
+    run_p.add_argument("--samples", type=int, default=200)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--hyperparams", default=None,
+                       help="JSON dict of agent hyperparameters")
+
+    sweep_p = sub.add_parser("sweep", help="hyperparameter-lottery sweep")
+    sweep_p.add_argument("--env", required=True)
+    sweep_p.add_argument("--agents", default=",".join(AGENT_NAMES),
+                         help="comma-separated agent names")
+    sweep_p.add_argument("--workload", default=None)
+    sweep_p.add_argument("--objective", default=None)
+    sweep_p.add_argument("--trials", type=int, default=4)
+    sweep_p.add_argument("--samples", type=int, default=150)
+    sweep_p.add_argument("--seed", type=int, default=0)
+    sweep_p.add_argument("--boxplots", action="store_true",
+                         help="render per-agent distribution box plots")
+    sweep_p.add_argument("--export", default=None,
+                         help="write all trials to this path (.json or .csv)")
+
+    col_p = sub.add_parser("collect", help="collect a multi-agent dataset")
+    col_p.add_argument("--env", required=True)
+    col_p.add_argument("--agents", default="rw,ga,aco")
+    col_p.add_argument("--workload", default=None)
+    col_p.add_argument("--samples", type=int, default=200,
+                       help="samples per agent")
+    col_p.add_argument("--seed", type=int, default=0)
+    col_p.add_argument("--out", required=True, help="output JSONL path")
+    return parser
+
+
+def _env_kwargs(args: argparse.Namespace) -> dict:
+    kwargs = {}
+    if getattr(args, "workload", None):
+        kwargs["workload"] = args.workload
+    if getattr(args, "objective", None):
+        kwargs["objective"] = args.objective
+    return kwargs
+
+
+def _cmd_envs() -> int:
+    for env_id in repro.registered_ids():
+        env = repro.make(env_id)
+        print(f"{env_id:18s} dim={env.action_space.dimension:3d} "
+              f"|A|={env.action_space.cardinality:.3g} "
+              f"obs={env.observation_metrics}")
+    return 0
+
+
+def _cmd_agents() -> int:
+    for name in sorted(HYPERPARAM_GRIDS):
+        print(f"{name}:")
+        for key, values in HYPERPARAM_GRIDS[name].items():
+            print(f"    {key} in {values}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    env = repro.make(args.env, **_env_kwargs(args))
+    hyperparams = json.loads(args.hyperparams) if args.hyperparams else {}
+    agent = make_agent(args.agent, env.action_space, seed=args.seed, **hyperparams)
+    result = run_agent(agent, env, n_samples=args.samples, seed=args.seed)
+    print(f"agent:       {agent.hyperparam_tag()}")
+    print(f"samples:     {result.n_samples}")
+    print(f"best reward: {result.best_reward:.6g}")
+    print(f"target met:  {result.target_met}")
+    print("best metrics:")
+    for key, value in sorted(result.best_metrics.items()):
+        print(f"    {key:14s} = {value:.6g}")
+    print("best design:")
+    for key, value in sorted(result.best_action.items()):
+        print(f"    {key:22s} = {value}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    agents = tuple(a.strip() for a in args.agents.split(",") if a.strip())
+    kwargs = _env_kwargs(args)
+    report = run_lottery_sweep(
+        lambda: repro.make(args.env, **kwargs),
+        agents=agents, n_trials=args.trials,
+        n_samples=args.samples, seed=args.seed,
+    )
+    print(report.print_table(boxplots=args.boxplots))
+    if args.export:
+        from repro.sweeps.export import save_report_csv, save_report_json
+
+        if str(args.export).endswith(".csv"):
+            save_report_csv(report, args.export)
+        else:
+            save_report_json(report, args.export)
+        print(f"exported trials to {args.export}")
+    return 0
+
+
+def _cmd_collect(args: argparse.Namespace) -> int:
+    agents = tuple(a.strip() for a in args.agents.split(",") if a.strip())
+    env = repro.make(args.env, **_env_kwargs(args))
+    dataset = ArchGymDataset()
+    env.attach_dataset(dataset)
+    for name in agents:
+        agent = make_agent(name, env.action_space, seed=args.seed)
+        run_agent(agent, env, n_samples=args.samples, seed=args.seed)
+    dataset.save_jsonl(args.out)
+    print(f"wrote {len(dataset)} transitions from {len(dataset.sources)} "
+          f"sources to {args.out}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "envs":
+        return _cmd_envs()
+    if args.command == "agents":
+        return _cmd_agents()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "collect":
+        return _cmd_collect(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

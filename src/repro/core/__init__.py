@@ -1,0 +1,59 @@
+"""Core gym infrastructure: spaces, environments, rewards, datasets."""
+
+from repro.core.dataset import ArchGymDataset, Transition
+from repro.core.env import ArchGymEnv, EnvStats
+from repro.core.errors import (
+    AgentError,
+    ArchGymError,
+    DatasetError,
+    EnvironmentError_,
+    InvalidActionError,
+    ProxyModelError,
+    RegistryError,
+    SimulationError,
+    SpaceError,
+)
+from repro.core.registry import make, register, registered_ids
+from repro.core.rewards import (
+    BudgetDistanceReward,
+    InverseReward,
+    JointTargetReward,
+    RewardSpec,
+    TargetReward,
+)
+from repro.core.spaces import (
+    Categorical,
+    CompositeSpace,
+    Continuous,
+    Discrete,
+    Parameter,
+)
+
+__all__ = [
+    "ArchGymDataset",
+    "Transition",
+    "ArchGymEnv",
+    "EnvStats",
+    "ArchGymError",
+    "AgentError",
+    "DatasetError",
+    "EnvironmentError_",
+    "InvalidActionError",
+    "ProxyModelError",
+    "RegistryError",
+    "SimulationError",
+    "SpaceError",
+    "make",
+    "register",
+    "registered_ids",
+    "RewardSpec",
+    "TargetReward",
+    "JointTargetReward",
+    "BudgetDistanceReward",
+    "InverseReward",
+    "Parameter",
+    "Categorical",
+    "Discrete",
+    "Continuous",
+    "CompositeSpace",
+]

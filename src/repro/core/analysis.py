@@ -1,0 +1,109 @@
+"""Dataset analytics: coverage and diversity measures (paper §7.3).
+
+The diversity argument of §7.3 — different agents explore the design
+space differently, so merged datasets cover more of it — is made
+quantitative here:
+
+- :func:`parameter_coverage` — per-dimension fraction of admissible
+  values that appear in the dataset,
+- :func:`action_entropy` — mean normalized entropy of each dimension's
+  empirical value distribution (1.0 = uniform exploration, 0.0 = a
+  single value),
+- :func:`unique_design_fraction` — deduplicated share of design points,
+- :func:`pairwise_source_overlap` — Jaccard overlap of the design sets
+  visited by two agents (low overlap = complementary exploration).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.dataset import ArchGymDataset
+from repro.core.errors import DatasetError
+from repro.core.spaces import CompositeSpace
+
+__all__ = [
+    "parameter_coverage",
+    "action_entropy",
+    "unique_design_fraction",
+    "pairwise_source_overlap",
+    "diversity_report",
+]
+
+
+def _encoded(dataset: ArchGymDataset, space: CompositeSpace) -> np.ndarray:
+    if len(dataset) == 0:
+        raise DatasetError("dataset is empty")
+    return np.stack([space.encode(t.action) for t in dataset])
+
+
+def parameter_coverage(
+    dataset: ArchGymDataset, space: CompositeSpace
+) -> Dict[str, float]:
+    """Fraction of each parameter's admissible values seen at least once."""
+    E = _encoded(dataset, space)
+    return {
+        p.name: len(np.unique(E[:, i])) / p.cardinality
+        for i, p in enumerate(space.parameters)
+    }
+
+
+def action_entropy(dataset: ArchGymDataset, space: CompositeSpace) -> float:
+    """Mean normalized entropy of the per-dimension value distributions."""
+    E = _encoded(dataset, space)
+    entropies = []
+    for i, p in enumerate(space.parameters):
+        if p.cardinality < 2:
+            continue
+        counts = np.bincount(E[:, i], minlength=p.cardinality).astype(float)
+        probs = counts / counts.sum()
+        nonzero = probs[probs > 0]
+        h = -(nonzero * np.log(nonzero)).sum() / np.log(p.cardinality)
+        entropies.append(h)
+    return float(np.mean(entropies)) if entropies else 0.0
+
+
+def unique_design_fraction(dataset: ArchGymDataset, space: CompositeSpace) -> float:
+    """Share of logged transitions that are distinct design points."""
+    E = _encoded(dataset, space)
+    unique = len({tuple(row) for row in E})
+    return unique / len(E)
+
+
+def pairwise_source_overlap(
+    dataset: ArchGymDataset, space: CompositeSpace, source_a: str, source_b: str
+) -> float:
+    """Jaccard overlap of the design-point sets of two sources."""
+    set_a = {
+        tuple(space.encode(t.action))
+        for t in dataset
+        if t.source == source_a
+    }
+    set_b = {
+        tuple(space.encode(t.action))
+        for t in dataset
+        if t.source == source_b
+    }
+    if not set_a or not set_b:
+        raise DatasetError(
+            f"sources {source_a!r}/{source_b!r} missing or empty in dataset"
+        )
+    union = set_a | set_b
+    return len(set_a & set_b) / len(union)
+
+
+def diversity_report(
+    dataset: ArchGymDataset, space: CompositeSpace
+) -> Dict[str, float]:
+    """Summary used by the diversity benches: entropy, uniqueness, and
+    mean per-parameter coverage."""
+    coverage = parameter_coverage(dataset, space)
+    return {
+        "n": float(len(dataset)),
+        "n_sources": float(len(dataset.sources)),
+        "mean_coverage": float(np.mean(list(coverage.values()))),
+        "action_entropy": action_entropy(dataset, space),
+        "unique_fraction": unique_design_fraction(dataset, space),
+    }

@@ -1,0 +1,253 @@
+"""Trajectory logging and the ArchGym dataset (paper §3.4, §7, Fig. 9).
+
+Every interaction between an agent and an environment produces a
+:class:`Transition` (action, observed cost metrics, reward). Transitions
+accumulate in an :class:`ArchGymDataset`, tagged with their *source* (the
+agent that generated them) so that datasets can later be
+
+- **merged** for size (``ArchGymDataset.merge``), and
+- **sampled by source** for diversity studies (``sample``,
+  ``filter_source``) — the Fig. 10 "diverse vs. ACO-only" experiment.
+
+Datasets convert to feature/target matrices for proxy-model training
+(``to_matrices``) and round-trip to JSONL (human-readable) and NPZ
+(compact) files.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import DatasetError
+from repro.core.spaces import CompositeSpace
+
+__all__ = ["Transition", "ArchGymDataset"]
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One logged agent/environment interaction."""
+
+    action: Dict[str, Any]
+    metrics: Dict[str, float]
+    reward: float
+    source: str = "unknown"
+    step: int = 0
+    info: Dict[str, Any] = field(default_factory=dict)
+
+    def to_record(self) -> Dict[str, Any]:
+        """JSON-serializable representation."""
+        return {
+            "action": self.action,
+            "metrics": self.metrics,
+            "reward": self.reward,
+            "source": self.source,
+            "step": self.step,
+            "info": self.info,
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "Transition":
+        return cls(
+            action=dict(record["action"]),
+            metrics={k: float(v) for k, v in record["metrics"].items()},
+            reward=float(record["reward"]),
+            source=str(record.get("source", "unknown")),
+            step=int(record.get("step", 0)),
+            info=dict(record.get("info", {})),
+        )
+
+
+class ArchGymDataset:
+    """An append-only, source-tagged collection of :class:`Transition`.
+
+    Parameters
+    ----------
+    env_id:
+        Identifier of the environment the data came from. Merging datasets
+        from different environments is rejected — their actions live in
+        different spaces.
+    """
+
+    def __init__(self, env_id: str = "", transitions: Optional[Iterable[Transition]] = None):
+        self.env_id = env_id
+        self._transitions: List[Transition] = list(transitions or [])
+
+    # -- collection protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._transitions)
+
+    def __iter__(self) -> Iterator[Transition]:
+        return iter(self._transitions)
+
+    def __getitem__(self, index: int) -> Transition:
+        return self._transitions[index]
+
+    def append(self, transition: Transition) -> None:
+        self._transitions.append(transition)
+
+    def extend(self, transitions: Iterable[Transition]) -> None:
+        self._transitions.extend(transitions)
+
+    # -- provenance ------------------------------------------------------------
+
+    @property
+    def sources(self) -> List[str]:
+        """Distinct source tags, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for t in self._transitions:
+            seen.setdefault(t.source, None)
+        return list(seen)
+
+    def source_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for t in self._transitions:
+            counts[t.source] = counts.get(t.source, 0) + 1
+        return counts
+
+    def filter_source(self, source: str) -> "ArchGymDataset":
+        """Dataset restricted to transitions from one agent source."""
+        return ArchGymDataset(
+            self.env_id, [t for t in self._transitions if t.source == source]
+        )
+
+    # -- size & diversity operations (Fig. 9 / Fig. 10) ------------------------
+
+    def merge(self, other: "ArchGymDataset") -> "ArchGymDataset":
+        """Concatenate two datasets from the same environment."""
+        if self.env_id and other.env_id and self.env_id != other.env_id:
+            raise DatasetError(
+                f"cannot merge datasets from different environments "
+                f"({self.env_id!r} vs {other.env_id!r})"
+            )
+        merged = ArchGymDataset(self.env_id or other.env_id)
+        merged.extend(self._transitions)
+        merged.extend(other._transitions)
+        return merged
+
+    @staticmethod
+    def merge_all(datasets: Sequence["ArchGymDataset"]) -> "ArchGymDataset":
+        if not datasets:
+            raise DatasetError("merge_all needs at least one dataset")
+        merged = datasets[0]
+        for d in datasets[1:]:
+            merged = merged.merge(d)
+        return merged
+
+    def sample(
+        self, n: int, rng: np.random.Generator, replace: bool = False
+    ) -> "ArchGymDataset":
+        """Uniformly subsample ``n`` transitions."""
+        if n < 0:
+            raise DatasetError(f"cannot sample a negative count ({n})")
+        if not replace and n > len(self):
+            raise DatasetError(
+                f"cannot sample {n} without replacement from {len(self)} transitions"
+            )
+        idx = rng.choice(len(self), size=n, replace=replace)
+        return ArchGymDataset(self.env_id, [self._transitions[i] for i in idx])
+
+    def sample_balanced(
+        self, n: int, rng: np.random.Generator
+    ) -> "ArchGymDataset":
+        """Sample ``n`` transitions spread as evenly as possible across
+        sources — the "diverse dataset" construction of §7.1."""
+        sources = self.sources
+        if not sources:
+            raise DatasetError("cannot sample from an empty dataset")
+        per_source = {s: self.filter_source(s) for s in sources}
+        quota, remainder = divmod(n, len(sources))
+        out = ArchGymDataset(self.env_id)
+        for i, s in enumerate(sources):
+            want = quota + (1 if i < remainder else 0)
+            pool = per_source[s]
+            take = min(want, len(pool))
+            if take:
+                out = out.merge(pool.sample(take, rng))
+        # Top up from the full pool if some source ran short.
+        if len(out) < n:
+            out = out.merge(self.sample(n - len(out), rng, replace=True))
+        return out
+
+    # -- matrix views for proxy training ---------------------------------------
+
+    def to_matrices(
+        self, space: CompositeSpace, targets: Sequence[str]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(X, Y)`` where ``X`` encodes actions as unit vectors
+        (one row per transition) and ``Y`` stacks the requested metric
+        columns. This is the feature representation used to train the
+        random-forest proxy models of §7.2."""
+        if not self._transitions:
+            raise DatasetError("cannot build matrices from an empty dataset")
+        X = np.stack([space.to_unit_vector(t.action) for t in self._transitions])
+        Y = np.empty((len(self._transitions), len(targets)), dtype=np.float64)
+        for j, name in enumerate(targets):
+            for i, t in enumerate(self._transitions):
+                if name not in t.metrics:
+                    raise DatasetError(
+                        f"transition {i} is missing metric {name!r}"
+                    )
+                Y[i, j] = t.metrics[name]
+        return X, Y
+
+    def rewards(self) -> np.ndarray:
+        return np.array([t.reward for t in self._transitions], dtype=np.float64)
+
+    def best(self, higher_is_better: bool = True) -> Transition:
+        """The transition with the best logged reward."""
+        if not self._transitions:
+            raise DatasetError("dataset is empty")
+        key = max if higher_is_better else min
+        return key(self._transitions, key=lambda t: t.reward)
+
+    # -- persistence -------------------------------------------------------------
+
+    def save_jsonl(self, path: str | Path) -> None:
+        """Write one JSON record per line, preceded by a header record."""
+        path = Path(path)
+        with path.open("w") as f:
+            f.write(json.dumps({"env_id": self.env_id, "format": "archgym-jsonl-v1"}))
+            f.write("\n")
+            for t in self._transitions:
+                f.write(json.dumps(t.to_record()))
+                f.write("\n")
+
+    @classmethod
+    def load_jsonl(cls, path: str | Path) -> "ArchGymDataset":
+        path = Path(path)
+        with path.open() as f:
+            lines = [line for line in f if line.strip()]
+        if not lines:
+            raise DatasetError(f"{path} is empty")
+        header = json.loads(lines[0])
+        if header.get("format") != "archgym-jsonl-v1":
+            raise DatasetError(f"{path} is not an ArchGym JSONL dataset")
+        ds = cls(env_id=header.get("env_id", ""))
+        ds.extend(Transition.from_record(json.loads(line)) for line in lines[1:])
+        return ds
+
+    def save_npz(self, path: str | Path, space: CompositeSpace, targets: Sequence[str]) -> None:
+        """Compact numeric export: encoded actions, metric matrix, rewards."""
+        X, Y = self.to_matrices(space, targets)
+        np.savez_compressed(
+            Path(path),
+            X=X,
+            Y=Y,
+            rewards=self.rewards(),
+            targets=np.array(list(targets)),
+            sources=np.array([t.source for t in self._transitions]),
+            env_id=np.array(self.env_id),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ArchGymDataset(env_id={self.env_id!r}, n={len(self)}, "
+            f"sources={self.source_counts()})"
+        )

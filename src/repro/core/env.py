@@ -1,0 +1,221 @@
+"""The ArchGym environment base class (paper §3.1, §3.3).
+
+An environment encapsulates an architecture *cost model* plus a target
+*workload* and exposes the OpenAI-gym style interface the paper
+standardizes on:
+
+    observation, info = env.reset(seed=...)
+    observation, reward, terminated, truncated, info = env.step(action)
+
+- **action** — a dict assigning every parameter in ``env.action_space``
+  (a :class:`~repro.core.spaces.CompositeSpace`) an admissible value.
+- **observation** — the cost-model output vector (e.g. ``<latency,
+  power, energy>`` for DRAMGym), in the order given by
+  ``env.observation_metrics``.
+- **reward** — the scalar produced by ``env.reward_spec`` (Table 3).
+
+Episodes are parameter-*suggestion* loops: each ``step`` evaluates one
+design point. ``episode_length`` bounds the suggestions per episode
+(``truncated``), and an episode ``terminated`` early once the design
+meets the user target. Every step is logged to an attached
+:class:`~repro.core.dataset.ArchGymDataset` (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dataset import ArchGymDataset, Transition
+from repro.core.errors import EnvironmentError_, InvalidActionError
+from repro.core.rewards import RewardSpec
+from repro.core.spaces import CompositeSpace
+
+__all__ = ["ArchGymEnv", "EnvStats"]
+
+Observation = np.ndarray
+StepResult = Tuple[Observation, float, bool, bool, Dict[str, Any]]
+
+
+class EnvStats:
+    """Counters the sweep harness and Fig. 12 speedup bench rely on."""
+
+    def __init__(self) -> None:
+        self.total_steps = 0
+        self.total_episodes = 0
+        self.total_sim_time = 0.0  # seconds spent inside the cost model
+
+    def __repr__(self) -> str:
+        return (
+            f"EnvStats(steps={self.total_steps}, episodes={self.total_episodes}, "
+            f"sim_time={self.total_sim_time:.3f}s)"
+        )
+
+
+class ArchGymEnv:
+    """Abstract base for all ArchGym environments.
+
+    Subclasses define the action space, the observation metric names, the
+    reward specification, and :meth:`evaluate` — the call into the
+    underlying architecture cost model.
+
+    Parameters
+    ----------
+    action_space:
+        The design parameter space (Fig. 3).
+    observation_metrics:
+        Ordered metric names forming the observation vector.
+    reward_spec:
+        The Table 3 reward for this environment/objective.
+    episode_length:
+        Number of design suggestions per episode before truncation.
+    terminate_on_target:
+        Whether meeting the reward spec's target ends the episode early.
+    """
+
+    #: Environment id, set by subclasses (e.g. ``"DRAMGym-v0"``).
+    env_id: str = "ArchGymEnv-v0"
+
+    def __init__(
+        self,
+        action_space: CompositeSpace,
+        observation_metrics: Sequence[str],
+        reward_spec: RewardSpec,
+        episode_length: int = 1,
+        terminate_on_target: bool = False,
+    ) -> None:
+        if episode_length < 1:
+            raise EnvironmentError_("episode_length must be >= 1")
+        self.action_space = action_space
+        self.observation_metrics = list(observation_metrics)
+        self.reward_spec = reward_spec
+        self.episode_length = episode_length
+        self.terminate_on_target = terminate_on_target
+        self.stats = EnvStats()
+        self.dataset: Optional[ArchGymDataset] = None
+        self._source_tag = "unknown"
+        self._rng = np.random.default_rng(0)
+        self._steps_in_episode = 0
+        self._needs_reset = True
+
+    # -- cost model hook --------------------------------------------------------
+
+    def evaluate(self, action: Mapping[str, Any]) -> Dict[str, float]:
+        """Run the cost model for one design point.
+
+        Returns a metric dictionary containing at least every name in
+        ``observation_metrics``. Subclasses implement this by invoking
+        their substrate simulator.
+        """
+        raise NotImplementedError
+
+    # -- dataset plumbing ---------------------------------------------------------
+
+    def attach_dataset(self, dataset: ArchGymDataset, source: str = "unknown") -> None:
+        """Start logging every step into ``dataset``, tagged with ``source``
+        (typically the agent name + hyperparameter hash)."""
+        if dataset.env_id and dataset.env_id != self.env_id:
+            raise EnvironmentError_(
+                f"dataset bound to {dataset.env_id!r}, not {self.env_id!r}"
+            )
+        dataset.env_id = self.env_id
+        self.dataset = dataset
+        self._source_tag = source
+
+    def detach_dataset(self) -> Optional[ArchGymDataset]:
+        ds, self.dataset = self.dataset, None
+        return ds
+
+    def set_source(self, source: str) -> None:
+        """Change the provenance tag without replacing the dataset."""
+        self._source_tag = source
+
+    # -- gym API -------------------------------------------------------------------
+
+    def reset(
+        self, seed: Optional[int] = None, options: Optional[Dict[str, Any]] = None
+    ) -> Tuple[Observation, Dict[str, Any]]:
+        """Begin a new episode. Returns a zero observation (no design has
+        been evaluated yet) and an info dict."""
+        if seed is not None:
+            self._rng = np.random.default_rng(seed)
+        self._steps_in_episode = 0
+        self._needs_reset = False
+        self.stats.total_episodes += 1
+        observation = np.zeros(len(self.observation_metrics), dtype=np.float64)
+        return observation, {"env_id": self.env_id}
+
+    def step(self, action: Mapping[str, Any]) -> StepResult:
+        """Evaluate one design point and return the gym 5-tuple."""
+        if self._needs_reset:
+            raise EnvironmentError_("call reset() before step()")
+        try:
+            self.action_space.validate(action)
+        except Exception as exc:
+            raise InvalidActionError(str(exc)) from exc
+
+        import time
+
+        start = time.perf_counter()
+        metrics = self.evaluate(action)
+        self.stats.total_sim_time += time.perf_counter() - start
+
+        missing = [m for m in self.observation_metrics if m not in metrics]
+        if missing:
+            raise EnvironmentError_(
+                f"cost model did not report metrics {missing}; got {sorted(metrics)}"
+            )
+
+        reward = self.reward_spec.compute(metrics)
+        observation = np.array(
+            [metrics[m] for m in self.observation_metrics], dtype=np.float64
+        )
+
+        self._steps_in_episode += 1
+        self.stats.total_steps += 1
+
+        target_met = self.reward_spec.meets_target(metrics)
+        terminated = bool(self.terminate_on_target and target_met)
+        truncated = self._steps_in_episode >= self.episode_length
+        if terminated or truncated:
+            self._needs_reset = True
+
+        info: Dict[str, Any] = {
+            "metrics": dict(metrics),
+            "target_met": target_met,
+            "step": self._steps_in_episode,
+        }
+
+        if self.dataset is not None:
+            self.dataset.append(
+                Transition(
+                    action=dict(action),
+                    metrics={k: float(v) for k, v in metrics.items()},
+                    reward=float(reward),
+                    source=self._source_tag,
+                    step=self.stats.total_steps,
+                )
+            )
+
+        return observation, float(reward), terminated, truncated, info
+
+    # -- convenience ------------------------------------------------------------------
+
+    def random_action(self) -> Dict[str, Any]:
+        """Sample a uniform random action from the env's own generator."""
+        return self.action_space.sample(self._rng)
+
+    def render(self) -> str:
+        """Human-readable one-line status (gym compatibility)."""
+        return f"{self.env_id}: {self.stats!r}"
+
+    def close(self) -> None:
+        """Release resources (no-op for the built-in environments)."""
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(env_id={self.env_id!r}, "
+            f"dim={self.action_space.dimension}, "
+            f"|A|={self.action_space.cardinality:.3g})"
+        )

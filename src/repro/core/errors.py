@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ArchGym reproduction.
+
+All library-raised exceptions derive from :class:`ArchGymError` so callers
+can catch the whole family with one clause while still discriminating on
+the specific subtype when needed.
+"""
+
+from __future__ import annotations
+
+
+class ArchGymError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SpaceError(ArchGymError):
+    """A parameter-space definition or lookup is invalid."""
+
+
+class InvalidActionError(ArchGymError):
+    """An action does not belong to the environment's action space."""
+
+
+class EnvironmentError_(ArchGymError):
+    """An environment was used incorrectly (e.g. ``step`` before ``reset``)."""
+
+
+class RegistryError(ArchGymError):
+    """An environment id is unknown or already registered."""
+
+
+class DatasetError(ArchGymError):
+    """A dataset operation (merge, sample, serialize) is invalid."""
+
+
+class SimulationError(ArchGymError):
+    """A substrate simulator was configured with inconsistent parameters."""
+
+
+class AgentError(ArchGymError):
+    """An agent was configured or driven incorrectly."""
+
+
+class ProxyModelError(ArchGymError):
+    """A proxy cost model operation (fit, predict) is invalid."""

@@ -1,0 +1,72 @@
+"""Environment registry: ``register`` factories, ``make`` instances.
+
+Mirrors the OpenAI gym ``gym.make`` convention the paper adopts so that
+experiments can name environments by id string:
+
+    env = repro.make("DRAMGym-v0", workload="stream", objective="power")
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.core.env import ArchGymEnv
+from repro.core.errors import RegistryError
+
+__all__ = ["register", "make", "registered_ids", "EnvRegistry"]
+
+EnvFactory = Callable[..., ArchGymEnv]
+
+
+class EnvRegistry:
+    """A mapping from environment id to factory callable."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, EnvFactory] = {}
+
+    def register(self, env_id: str, factory: EnvFactory, overwrite: bool = False) -> None:
+        if not env_id:
+            raise RegistryError("environment id must be a non-empty string")
+        if env_id in self._factories and not overwrite:
+            raise RegistryError(f"environment {env_id!r} is already registered")
+        self._factories[env_id] = factory
+
+    def make(self, env_id: str, **kwargs: Any) -> ArchGymEnv:
+        try:
+            factory = self._factories[env_id]
+        except KeyError:
+            raise RegistryError(
+                f"unknown environment {env_id!r}; registered: {sorted(self._factories)}"
+            ) from None
+        env = factory(**kwargs)
+        if not isinstance(env, ArchGymEnv):
+            raise RegistryError(
+                f"factory for {env_id!r} returned {type(env).__name__}, "
+                "expected an ArchGymEnv"
+            )
+        return env
+
+    def ids(self) -> List[str]:
+        return sorted(self._factories)
+
+    def __contains__(self, env_id: str) -> bool:
+        return env_id in self._factories
+
+
+#: The process-global registry used by :func:`register` / :func:`make`.
+_GLOBAL = EnvRegistry()
+
+
+def register(env_id: str, factory: EnvFactory, overwrite: bool = False) -> None:
+    """Register ``factory`` under ``env_id`` in the global registry."""
+    _GLOBAL.register(env_id, factory, overwrite=overwrite)
+
+
+def make(env_id: str, **kwargs: Any) -> ArchGymEnv:
+    """Instantiate a registered environment by id."""
+    return _GLOBAL.make(env_id, **kwargs)
+
+
+def registered_ids() -> List[str]:
+    """All environment ids known to the global registry."""
+    return _GLOBAL.ids()

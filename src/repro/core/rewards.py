@@ -1,0 +1,196 @@
+"""Reward / fitness formulations used by the ArchGym environments.
+
+Table 3 of the paper defines one reward per environment family:
+
+- ``TargetReward`` — ``r = target / |target - observed|`` (DRAMGym and
+  TimeloopGym). Larger is better; the reward diverges as the observed
+  metric approaches the user-specified target, so we cap it.
+- ``BudgetDistanceReward`` — ``distance = sum_m alpha_m * (D_m - B_m)/B_m``
+  over performance/power/area (FARSIGym). Smaller is better.
+- ``InverseReward`` — ``r = 1 / X`` (MaestroGym). Larger is better.
+- ``JointTargetReward`` — the multi-objective combination used for the
+  "joint latency+power" experiments of Fig. 4.
+
+All reward objects expose ``compute(metrics) -> float`` plus a
+``higher_is_better`` flag so sweep analytics can normalize consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.core.errors import ArchGymError
+
+__all__ = [
+    "RewardSpec",
+    "TargetReward",
+    "JointTargetReward",
+    "BudgetDistanceReward",
+    "InverseReward",
+    "REWARD_CAP",
+]
+
+# Reward value reported when the observed metric hits the target exactly.
+# Table 3's formula diverges there; a finite cap keeps agents numerically
+# stable while preserving "hit the target" as the unique best outcome.
+REWARD_CAP = 1e6
+
+
+class RewardSpec:
+    """Interface shared by all reward formulations."""
+
+    #: True when larger reward values indicate better designs.
+    higher_is_better: bool = True
+
+    def compute(self, metrics: Mapping[str, float]) -> float:
+        """Map a cost-model output dictionary to a scalar reward."""
+        raise NotImplementedError
+
+    def meets_target(self, metrics: Mapping[str, float]) -> bool:
+        """Whether the design satisfies the user-defined criteria.
+
+        The paper calls a design *optimal* "as long as it meets all
+        user-defined criteria for a target hardware" (§1, footnote 2).
+        """
+        raise NotImplementedError
+
+    def _get(self, metrics: Mapping[str, float], key: str) -> float:
+        try:
+            return float(metrics[key])
+        except KeyError:
+            raise ArchGymError(
+                f"reward needs metric {key!r} but cost model returned "
+                f"{sorted(metrics)}"
+            ) from None
+
+
+@dataclass
+class TargetReward(RewardSpec):
+    """``r = target / |target - observed|`` for a single metric.
+
+    ``tolerance`` is the relative deviation below which the target counts
+    as met (used by :meth:`meets_target` and early termination).
+    """
+
+    metric: str
+    target: float
+    tolerance: float = 0.01
+    higher_is_better: bool = field(default=True, init=False)
+
+    def __post_init__(self) -> None:
+        if self.target <= 0:
+            raise ArchGymError(f"target for {self.metric!r} must be positive")
+
+    def compute(self, metrics: Mapping[str, float]) -> float:
+        observed = self._get(metrics, self.metric)
+        gap = abs(self.target - observed)
+        if gap < self.target / REWARD_CAP:
+            return REWARD_CAP
+        return min(self.target / gap, REWARD_CAP)
+
+    def meets_target(self, metrics: Mapping[str, float]) -> bool:
+        observed = self._get(metrics, self.metric)
+        return abs(observed - self.target) <= self.tolerance * self.target
+
+
+@dataclass
+class JointTargetReward(RewardSpec):
+    """Multi-objective target reward: weighted geometric-style combination.
+
+    Fig. 4's "joint optimization of latency and power" scores a design by
+    how close it is to *every* target simultaneously. We combine the
+    per-metric ``TargetReward`` values with a weighted harmonic mean, which
+    (a) stays on the same scale as the single-metric reward and (b) cannot
+    be gamed by excelling at one objective while ignoring the other.
+    """
+
+    components: Tuple[TargetReward, ...]
+    weights: Tuple[float, ...] = ()
+    higher_is_better: bool = field(default=True, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ArchGymError("JointTargetReward needs at least one component")
+        if not self.weights:
+            self.weights = tuple(1.0 for _ in self.components)
+        if len(self.weights) != len(self.components):
+            raise ArchGymError("weights/components length mismatch")
+        if any(w <= 0 for w in self.weights):
+            raise ArchGymError("weights must be positive")
+
+    def compute(self, metrics: Mapping[str, float]) -> float:
+        total_weight = sum(self.weights)
+        denom = 0.0
+        for component, weight in zip(self.components, self.weights):
+            r = component.compute(metrics)
+            denom += weight / max(r, 1.0 / REWARD_CAP)
+        return min(total_weight / denom, REWARD_CAP)
+
+    def meets_target(self, metrics: Mapping[str, float]) -> bool:
+        return all(c.meets_target(metrics) for c in self.components)
+
+
+@dataclass
+class BudgetDistanceReward(RewardSpec):
+    """FARSI's distance-to-budget: ``sum_m alpha_m * (D_m - B_m) / B_m``.
+
+    ``D_m`` is the observed metric and ``B_m`` the budget. Only budget
+    *violations* contribute when ``penalize_only_excess`` is True (the
+    FARSI convention: a design under budget on every axis has distance 0
+    and satisfies the specification). Smaller distance is better.
+    """
+
+    budgets: Dict[str, float]
+    alphas: Dict[str, float] = field(default_factory=dict)
+    penalize_only_excess: bool = True
+    higher_is_better: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.budgets:
+            raise ArchGymError("BudgetDistanceReward needs at least one budget")
+        for name, budget in self.budgets.items():
+            if budget <= 0:
+                raise ArchGymError(f"budget for {name!r} must be positive")
+        for name in self.budgets:
+            self.alphas.setdefault(name, 1.0)
+
+    def compute(self, metrics: Mapping[str, float]) -> float:
+        distance = 0.0
+        for name, budget in self.budgets.items():
+            observed = self._get(metrics, name)
+            term = (observed - budget) / budget
+            if self.penalize_only_excess:
+                term = max(term, 0.0)
+            distance += self.alphas[name] * term
+        return distance
+
+    def meets_target(self, metrics: Mapping[str, float]) -> bool:
+        return all(
+            self._get(metrics, name) <= budget
+            for name, budget in self.budgets.items()
+        )
+
+
+@dataclass
+class InverseReward(RewardSpec):
+    """``r = 1 / X`` — Maestro's reward for minimizing a metric.
+
+    ``target`` optionally defines the "good enough" threshold for
+    :meth:`meets_target` (observed <= target).
+    """
+
+    metric: str
+    target: float = 0.0
+    higher_is_better: bool = field(default=True, init=False)
+
+    def compute(self, metrics: Mapping[str, float]) -> float:
+        observed = self._get(metrics, self.metric)
+        if observed <= 0:
+            return REWARD_CAP
+        return min(1.0 / observed, REWARD_CAP)
+
+    def meets_target(self, metrics: Mapping[str, float]) -> bool:
+        if self.target <= 0:
+            return False
+        return self._get(metrics, self.metric) <= self.target

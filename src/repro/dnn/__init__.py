@@ -1,0 +1,5 @@
+"""Shared DNN workload definitions for the accelerator substrates."""
+
+from repro.dnn.layers import DNN_WORKLOADS, WORKLOAD_NAMES, ConvLayer, get_workload
+
+__all__ = ["DNN_WORKLOADS", "WORKLOAD_NAMES", "ConvLayer", "get_workload"]

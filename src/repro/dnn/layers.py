@@ -1,0 +1,159 @@
+"""DNN layer shapes shared by the Timeloop and MAESTRO substrates.
+
+The paper evaluates TimeloopGym on AlexNet / MobileNet / ResNet-50 and
+MaestroGym on ResNet18 / VGG16 / MobileNet. Layer tables below follow the
+published architectures; spatially repeated layers carry a ``repeat``
+count so whole-network costs remain faithful without evaluating
+duplicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.errors import SimulationError
+
+__all__ = ["ConvLayer", "DNN_WORKLOADS", "get_workload", "WORKLOAD_NAMES"]
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """One convolution layer in Timeloop's 7-loop nomenclature.
+
+    ``K`` output channels, ``C`` input channels, ``R x S`` filter,
+    ``P x Q`` output feature map, ``stride``, batch ``N``. ``depthwise``
+    marks MobileNet-style per-channel convolutions (K == C, no channel
+    reduction). Fully connected layers are convolutions with P=Q=R=S=1.
+    """
+
+    name: str
+    K: int
+    C: int
+    R: int
+    S: int
+    P: int
+    Q: int
+    stride: int = 1
+    N: int = 1
+    depthwise: bool = False
+    repeat: int = 1
+
+    def __post_init__(self) -> None:
+        for attr in ("K", "C", "R", "S", "P", "Q", "stride", "N", "repeat"):
+            if getattr(self, attr) < 1:
+                raise SimulationError(f"layer {self.name!r}: {attr} must be >= 1")
+        if self.depthwise and self.K != self.C:
+            raise SimulationError(f"depthwise layer {self.name!r} needs K == C")
+
+    @property
+    def input_h(self) -> int:
+        return (self.P - 1) * self.stride + self.R
+
+    @property
+    def input_w(self) -> int:
+        return (self.Q - 1) * self.stride + self.S
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulates for one instance of this layer."""
+        per_output = self.R * self.S * (1 if self.depthwise else self.C)
+        return self.N * self.K * self.P * self.Q * per_output
+
+    @property
+    def weight_words(self) -> int:
+        channels = 1 if self.depthwise else self.C
+        return self.K * channels * self.R * self.S
+
+    @property
+    def input_words(self) -> int:
+        return self.N * self.C * self.input_h * self.input_w
+
+    @property
+    def output_words(self) -> int:
+        return self.N * self.K * self.P * self.Q
+
+
+def _alexnet() -> List[ConvLayer]:
+    return [
+        ConvLayer("conv1", K=96, C=3, R=11, S=11, P=55, Q=55, stride=4),
+        ConvLayer("conv2", K=256, C=96, R=5, S=5, P=27, Q=27),
+        ConvLayer("conv3", K=384, C=256, R=3, S=3, P=13, Q=13),
+        ConvLayer("conv4", K=384, C=384, R=3, S=3, P=13, Q=13),
+        ConvLayer("conv5", K=256, C=384, R=3, S=3, P=13, Q=13),
+    ]
+
+
+def _resnet50() -> List[ConvLayer]:
+    # representative bottleneck stages with repeat counts
+    return [
+        ConvLayer("conv1", K=64, C=3, R=7, S=7, P=112, Q=112, stride=2),
+        ConvLayer("res2_1x1a", K=64, C=64, R=1, S=1, P=56, Q=56, repeat=3),
+        ConvLayer("res2_3x3", K=64, C=64, R=3, S=3, P=56, Q=56, repeat=3),
+        ConvLayer("res2_1x1b", K=256, C=64, R=1, S=1, P=56, Q=56, repeat=3),
+        ConvLayer("res3_3x3", K=128, C=128, R=3, S=3, P=28, Q=28, repeat=4),
+        ConvLayer("res3_1x1b", K=512, C=128, R=1, S=1, P=28, Q=28, repeat=4),
+        ConvLayer("res4_3x3", K=256, C=256, R=3, S=3, P=14, Q=14, repeat=6),
+        ConvLayer("res4_1x1b", K=1024, C=256, R=1, S=1, P=14, Q=14, repeat=6),
+        ConvLayer("res5_3x3", K=512, C=512, R=3, S=3, P=7, Q=7, repeat=3),
+        ConvLayer("res5_1x1b", K=2048, C=512, R=1, S=1, P=7, Q=7, repeat=3),
+    ]
+
+
+def _resnet18() -> List[ConvLayer]:
+    return [
+        ConvLayer("conv1", K=64, C=3, R=7, S=7, P=112, Q=112, stride=2),
+        ConvLayer("res2", K=64, C=64, R=3, S=3, P=56, Q=56, repeat=4),
+        ConvLayer("res3", K=128, C=128, R=3, S=3, P=28, Q=28, repeat=4),
+        ConvLayer("res4", K=256, C=256, R=3, S=3, P=14, Q=14, repeat=4),
+        ConvLayer("res5", K=512, C=512, R=3, S=3, P=7, Q=7, repeat=4),
+    ]
+
+
+def _mobilenet() -> List[ConvLayer]:
+    return [
+        ConvLayer("conv1", K=32, C=3, R=3, S=3, P=112, Q=112, stride=2),
+        ConvLayer("dw2", K=32, C=32, R=3, S=3, P=112, Q=112, depthwise=True),
+        ConvLayer("pw2", K=64, C=32, R=1, S=1, P=112, Q=112),
+        ConvLayer("dw3", K=128, C=128, R=3, S=3, P=56, Q=56, depthwise=True, repeat=2),
+        ConvLayer("pw3", K=128, C=128, R=1, S=1, P=56, Q=56, repeat=2),
+        ConvLayer("dw4", K=256, C=256, R=3, S=3, P=28, Q=28, depthwise=True, repeat=2),
+        ConvLayer("pw4", K=256, C=256, R=1, S=1, P=28, Q=28, repeat=2),
+        ConvLayer("dw5", K=512, C=512, R=3, S=3, P=14, Q=14, depthwise=True, repeat=5),
+        ConvLayer("pw5", K=512, C=512, R=1, S=1, P=14, Q=14, repeat=5),
+        ConvLayer("dw6", K=1024, C=1024, R=3, S=3, P=7, Q=7, depthwise=True),
+        ConvLayer("pw6", K=1024, C=1024, R=1, S=1, P=7, Q=7),
+    ]
+
+
+def _vgg16() -> List[ConvLayer]:
+    return [
+        ConvLayer("conv1_1", K=64, C=3, R=3, S=3, P=224, Q=224),
+        ConvLayer("conv1_2", K=64, C=64, R=3, S=3, P=224, Q=224),
+        ConvLayer("conv2", K=128, C=128, R=3, S=3, P=112, Q=112, repeat=2),
+        ConvLayer("conv3", K=256, C=256, R=3, S=3, P=56, Q=56, repeat=3),
+        ConvLayer("conv4", K=512, C=512, R=3, S=3, P=28, Q=28, repeat=3),
+        ConvLayer("conv5", K=512, C=512, R=3, S=3, P=14, Q=14, repeat=3),
+    ]
+
+
+DNN_WORKLOADS: Dict[str, Tuple[ConvLayer, ...]] = {
+    "alexnet": tuple(_alexnet()),
+    "resnet50": tuple(_resnet50()),
+    "resnet18": tuple(_resnet18()),
+    "mobilenet": tuple(_mobilenet()),
+    "vgg16": tuple(_vgg16()),
+}
+
+#: Names accepted by :func:`get_workload`.
+WORKLOAD_NAMES = tuple(DNN_WORKLOADS)
+
+
+def get_workload(name: str) -> Tuple[ConvLayer, ...]:
+    """Return the layer tuple for a named DNN workload."""
+    try:
+        return DNN_WORKLOADS[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown DNN workload {name!r}; have {sorted(DNN_WORKLOADS)}"
+        ) from None

@@ -1,0 +1,47 @@
+"""DRAM subsystem substrate — the DRAMSys stand-in (paper Table 3)."""
+
+from repro.dramsys.config import (
+    ARBITERS,
+    PAGE_POLICIES,
+    REFRESH_POLICIES,
+    RESP_QUEUE_POLICIES,
+    SCHEDULER_BUFFERS,
+    SCHEDULERS,
+    ControllerConfig,
+    controller_space,
+)
+from repro.dramsys.device import (
+    ADDRESS_MAPPINGS,
+    DDR3_1600,
+    DDR4_2400,
+    LPDDR4_3200,
+    DramDevice,
+    DramEnergy,
+    DramTimings,
+)
+from repro.dramsys.simulator import DramSimulator, SimResult
+from repro.dramsys.traces import TRACE_NAMES, MemoryRequest, Trace, generate_trace
+
+__all__ = [
+    "ARBITERS",
+    "PAGE_POLICIES",
+    "REFRESH_POLICIES",
+    "RESP_QUEUE_POLICIES",
+    "SCHEDULER_BUFFERS",
+    "SCHEDULERS",
+    "ControllerConfig",
+    "controller_space",
+    "ADDRESS_MAPPINGS",
+    "DDR3_1600",
+    "DDR4_2400",
+    "LPDDR4_3200",
+    "DramDevice",
+    "DramEnergy",
+    "DramTimings",
+    "DramSimulator",
+    "SimResult",
+    "TRACE_NAMES",
+    "MemoryRequest",
+    "Trace",
+    "generate_trace",
+]

@@ -1,0 +1,108 @@
+"""Trace characterization utilities.
+
+The DRAM DSE experiments hinge on workloads differing in row locality,
+bank parallelism, read/write mix and arrival burstiness (paper §5:
+streaming vs random vs cloud traces). These functions quantify those
+properties for any :class:`~repro.dramsys.traces.Trace`, independent of
+any controller — useful both for validating the synthetic generators
+and for characterizing user-supplied traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.core.errors import SimulationError
+from repro.dramsys.device import DDR4_2400, DramDevice
+from repro.dramsys.traces import Trace
+
+__all__ = ["TraceProfile", "profile_trace"]
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Controller-independent workload characteristics."""
+
+    name: str
+    n_requests: int
+    duration_ns: float
+    write_fraction: float
+    #: fraction of accesses that hit the same (bank, row) as the previous
+    #: access to that bank — an upper bound on open-page row hit rate
+    row_locality: float
+    #: normalized entropy of the bank access histogram (1 = perfectly
+    #: balanced across banks, 0 = single bank)
+    bank_spread: float
+    #: mean arrival gap in ns
+    mean_gap_ns: float
+    #: coefficient of variation of arrival gaps (>1 = bursty)
+    burstiness: float
+    #: distinct rows touched per 1000 requests (footprint measure)
+    row_footprint_per_k: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "n_requests": float(self.n_requests),
+            "duration_ns": self.duration_ns,
+            "write_fraction": self.write_fraction,
+            "row_locality": self.row_locality,
+            "bank_spread": self.bank_spread,
+            "mean_gap_ns": self.mean_gap_ns,
+            "burstiness": self.burstiness,
+            "row_footprint_per_k": self.row_footprint_per_k,
+        }
+
+
+def profile_trace(trace: Trace, device: DramDevice = DDR4_2400) -> TraceProfile:
+    """Compute the :class:`TraceProfile` of a trace under a device's
+    address mapping."""
+    if len(trace) == 0:
+        raise SimulationError("cannot profile an empty trace")
+
+    banks = np.empty(len(trace), dtype=np.int64)
+    rows = np.empty(len(trace), dtype=np.int64)
+    for i, req in enumerate(trace.requests):
+        banks[i], rows[i] = device.map_address(req.address)
+
+    # row locality: per-bank sequential same-row accesses
+    last_row: Dict[int, int] = {}
+    hits = 0
+    for b, r in zip(banks, rows):
+        if last_row.get(int(b)) == int(r):
+            hits += 1
+        last_row[int(b)] = int(r)
+    row_locality = hits / len(trace)
+
+    # bank spread: normalized histogram entropy
+    counts = np.bincount(banks, minlength=device.banks).astype(float)
+    probs = counts / counts.sum()
+    nonzero = probs[probs > 0]
+    if device.banks > 1:
+        bank_spread = float(-(nonzero * np.log(nonzero)).sum() / np.log(device.banks))
+    else:
+        bank_spread = 0.0
+
+    arrivals = np.array([r.arrival_ns for r in trace.requests])
+    gaps = np.diff(arrivals)
+    if len(gaps) and gaps.mean() > 0:
+        mean_gap = float(gaps.mean())
+        burstiness = float(gaps.std() / gaps.mean())
+    else:
+        mean_gap = 0.0
+        burstiness = 0.0
+
+    distinct_rows = len({(int(b), int(r)) for b, r in zip(banks, rows)})
+    return TraceProfile(
+        name=trace.name,
+        n_requests=len(trace),
+        duration_ns=trace.duration_ns,
+        write_fraction=trace.write_fraction,
+        row_locality=row_locality,
+        bank_spread=bank_spread,
+        mean_gap_ns=mean_gap,
+        burstiness=burstiness,
+        row_footprint_per_k=1000.0 * distinct_rows / len(trace),
+    )

@@ -1,0 +1,25 @@
+"""The four ArchGym environments of the paper (Table 3).
+
+Importing this module registers every environment in the global
+registry, so ``repro.make("DRAMGym-v0", ...)`` works immediately.
+"""
+
+from repro.core.registry import register
+from repro.envs.dram import DRAM_OBJECTIVES, DRAMGymEnv
+from repro.envs.farsi_env import FARSIGymEnv
+from repro.envs.maestro_env import MaestroGymEnv
+from repro.envs.timeloop_env import TIMELOOP_OBJECTIVES, TimeloopGymEnv
+
+__all__ = [
+    "DRAMGymEnv",
+    "DRAM_OBJECTIVES",
+    "FARSIGymEnv",
+    "MaestroGymEnv",
+    "TimeloopGymEnv",
+    "TIMELOOP_OBJECTIVES",
+]
+
+register("DRAMGym-v0", DRAMGymEnv, overwrite=True)
+register("TimeloopGym-v0", TimeloopGymEnv, overwrite=True)
+register("FARSIGym-v0", FARSIGymEnv, overwrite=True)
+register("MaestroGym-v0", MaestroGymEnv, overwrite=True)

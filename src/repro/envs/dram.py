@@ -1,0 +1,104 @@
+"""DRAMGym — memory controller DSE environment (paper Table 3, Fig. 3).
+
+- simulator: the DRAMSys stand-in (`repro.dramsys`)
+- workload: a named memory trace (stream / random / cloud-1 / cloud-2 /
+  pointer_chase)
+- action: the ten controller parameters of Fig. 3 / Table 4
+- observation: ``<latency, power, energy>``
+- reward: ``r = target / |target - observed|`` for the ``latency`` or
+  ``power`` objectives, harmonic combination for ``joint``
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.core.env import ArchGymEnv
+from repro.core.errors import EnvironmentError_
+from repro.core.rewards import JointTargetReward, RewardSpec, TargetReward
+from repro.dramsys.config import ControllerConfig, controller_space
+from repro.dramsys.device import DDR4_2400, DramDevice
+from repro.dramsys.simulator import DramSimulator
+from repro.dramsys.traces import generate_trace
+from repro.envs.base import EvaluationCache
+
+__all__ = ["DRAMGymEnv", "DRAM_OBJECTIVES"]
+
+#: Supported optimization objectives (Fig. 4 uses all three).
+DRAM_OBJECTIVES = ("power", "latency", "joint")
+
+#: When targets are not given explicitly, they are derived from the
+#: default controller's cost on the same trace: ambitious but reachable
+#: (Table 4's experiment passes its 1 W target explicitly instead).
+DEFAULT_POWER_TARGET_FRACTION = 0.9
+DEFAULT_LATENCY_TARGET_FRACTION = 0.8
+
+
+def _build_reward(objective: str, power_target: float, latency_target: float) -> RewardSpec:
+    if objective == "power":
+        return TargetReward("power", target=power_target, tolerance=0.02)
+    if objective == "latency":
+        return TargetReward("latency", target=latency_target, tolerance=0.05)
+    if objective == "joint":
+        return JointTargetReward(
+            components=(
+                TargetReward("latency", target=latency_target, tolerance=0.05),
+                TargetReward("power", target=power_target, tolerance=0.02),
+            )
+        )
+    raise EnvironmentError_(
+        f"unknown DRAM objective {objective!r}; valid: {DRAM_OBJECTIVES}"
+    )
+
+
+class DRAMGymEnv(ArchGymEnv):
+    """Design a memory controller for a target workload trace."""
+
+    env_id = "DRAMGym-v0"
+
+    def __init__(
+        self,
+        workload: str = "stream",
+        objective: str = "power",
+        power_target_w: Optional[float] = None,
+        latency_target_ns: Optional[float] = None,
+        n_requests: int = 1000,
+        trace_seed: int = 0,
+        device: DramDevice = DDR4_2400,
+        episode_length: int = 1,
+        terminate_on_target: bool = False,
+        cache_size: int = 4096,
+    ) -> None:
+        trace = generate_trace(workload, n_requests=n_requests, seed=trace_seed)
+        simulator = DramSimulator(device)
+        if power_target_w is None or latency_target_ns is None:
+            reference = simulator.simulate(ControllerConfig(), trace)
+            if power_target_w is None:
+                power_target_w = reference.power_w * DEFAULT_POWER_TARGET_FRACTION
+            if latency_target_ns is None:
+                latency_target_ns = (
+                    reference.avg_latency_ns * DEFAULT_LATENCY_TARGET_FRACTION
+                )
+        super().__init__(
+            action_space=controller_space(),
+            observation_metrics=["latency", "power", "energy"],
+            reward_spec=_build_reward(objective, power_target_w, latency_target_ns),
+            episode_length=episode_length,
+            terminate_on_target=terminate_on_target,
+        )
+        self.workload = workload
+        self.objective = objective
+        self.power_target_w = power_target_w
+        self.latency_target_ns = latency_target_ns
+        self.trace = trace
+        self.simulator = simulator
+        self._cache = EvaluationCache(cache_size)
+
+    def evaluate(self, action: Mapping[str, Any]) -> Dict[str, float]:
+        key = tuple(self.action_space.encode(action))
+        return self._cache.get_or_compute(
+            key,
+            lambda: self.simulator.simulate(
+                ControllerConfig.from_action(action), self.trace
+            ).metrics(),
+        )

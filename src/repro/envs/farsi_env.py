@@ -1,0 +1,64 @@
+"""FARSIGym — AR/VR SoC DSE environment (paper Table 3, Fig. 3).
+
+- simulator: the FARSI stand-in (`repro.farsi`)
+- workload: an AR/VR task graph (audio_decoder / edge_detection)
+- action: PE socket assignment + NoC/memory parameters (Fig. 3)
+- observation: ``<performance, power, area>``
+- reward: FARSI's *distance to budget*
+  ``sum_m alpha_m (D_m - B_m)/B_m`` — **lower is better**, 0 means every
+  budget is met (the paper's Fig. 5c reports this distance).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.core.env import ArchGymEnv
+from repro.core.rewards import BudgetDistanceReward
+from repro.envs.base import EvaluationCache
+from repro.farsi.simulator import FarsiSimulator
+from repro.farsi.soc import SoCConfig, soc_space
+from repro.farsi.workloads import get_farsi_workload
+
+__all__ = ["FARSIGymEnv"]
+
+
+class FARSIGymEnv(ArchGymEnv):
+    """Design a domain-specific SoC meeting performance/power/area budgets."""
+
+    env_id = "FARSIGym-v0"
+
+    def __init__(
+        self,
+        workload: str = "edge_detection",
+        budgets: Optional[Dict[str, float]] = None,
+        alphas: Optional[Dict[str, float]] = None,
+        episode_length: int = 1,
+        terminate_on_target: bool = False,
+        cache_size: int = 4096,
+    ) -> None:
+        self.farsi_workload = get_farsi_workload(workload)
+        effective_budgets = dict(self.farsi_workload.budgets)
+        if budgets:
+            effective_budgets.update(budgets)
+        super().__init__(
+            action_space=soc_space(),
+            observation_metrics=["performance", "power", "area"],
+            reward_spec=BudgetDistanceReward(
+                budgets=effective_budgets, alphas=dict(alphas or {})
+            ),
+            episode_length=episode_length,
+            terminate_on_target=terminate_on_target,
+        )
+        self.workload = workload
+        self.simulator = FarsiSimulator()
+        self._cache = EvaluationCache(cache_size)
+
+    def evaluate(self, action: Mapping[str, Any]) -> Dict[str, float]:
+        key = tuple(self.action_space.encode(action))
+        return self._cache.get_or_compute(
+            key,
+            lambda: self.simulator.simulate(
+                SoCConfig.from_action(action), self.farsi_workload.graph
+            ).metrics(),
+        )

@@ -1,0 +1,60 @@
+"""MaestroGym — DNN mapping DSE environment (paper Table 3, Fig. 3).
+
+- simulator: the MAESTRO stand-in (`repro.maestro`)
+- workload: a DNN (resnet18 / vgg16 / mobilenet / ...)
+- action: the data-centric mapping genome (L1/L2 tiles, cluster,
+  parallel dim, loop order) that GAMMA searches
+- observation: ``<runtime, throughput, energy, area>``
+- reward: ``r = 1 / runtime`` (Table 3) — higher is better, so minimizing
+  model latency maximizes reward.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from repro.core.env import ArchGymEnv
+from repro.core.rewards import InverseReward
+from repro.dnn import get_workload
+from repro.envs.base import EvaluationCache
+from repro.maestro.mapping import Mapping as MaestroMapping
+from repro.maestro.mapping import mapping_space
+from repro.maestro.model import MaestroAccelerator, MaestroModel
+
+__all__ = ["MaestroGymEnv"]
+
+
+class MaestroGymEnv(ArchGymEnv):
+    """Find the best mapping of a DNN onto a fixed spatial accelerator."""
+
+    env_id = "MaestroGym-v0"
+
+    def __init__(
+        self,
+        workload: str = "resnet18",
+        runtime_target_ms: float = 0.0,
+        accelerator: MaestroAccelerator = MaestroAccelerator(),
+        episode_length: int = 1,
+        terminate_on_target: bool = False,
+        cache_size: int = 4096,
+    ) -> None:
+        super().__init__(
+            action_space=mapping_space(),
+            observation_metrics=["runtime", "throughput", "energy", "area"],
+            reward_spec=InverseReward("runtime", target=runtime_target_ms),
+            episode_length=episode_length,
+            terminate_on_target=terminate_on_target,
+        )
+        self.workload = workload
+        self.layers = get_workload(workload)
+        self.model = MaestroModel(accelerator)
+        self._cache = EvaluationCache(cache_size)
+
+    def evaluate(self, action: Mapping[str, Any]) -> Dict[str, float]:
+        key = tuple(self.action_space.encode(action))
+        return self._cache.get_or_compute(
+            key,
+            lambda: self.model.evaluate_network(
+                MaestroMapping.from_action(action), self.layers
+            ),
+        )

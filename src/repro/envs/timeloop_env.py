@@ -1,0 +1,93 @@
+"""TimeloopGym — DNN accelerator DSE environment (paper Table 3, Fig. 3).
+
+- simulator: the Timeloop stand-in (`repro.timeloop`)
+- workload: a CNN (alexnet / mobilenet / resnet50 / ...)
+- action: the accelerator parameters of Fig. 3 (PE array, scratchpads,
+  global buffer, bandwidths, clock)
+- observation: ``<latency, energy, area>``
+- reward: target-relative (Table 3); default targets are set relative to
+  the Eyeriss-like reference design so every workload gets a meaningful,
+  reachable-but-nontrivial goal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.core.env import ArchGymEnv
+from repro.core.errors import EnvironmentError_
+from repro.core.rewards import JointTargetReward, RewardSpec, TargetReward
+from repro.dnn import get_workload
+from repro.envs.base import EvaluationCache
+from repro.timeloop.arch import EYERISS_LIKE, AcceleratorConfig, accelerator_space
+from repro.timeloop.model import TimeloopModel
+
+__all__ = ["TimeloopGymEnv", "TIMELOOP_OBJECTIVES"]
+
+TIMELOOP_OBJECTIVES = ("latency", "energy", "joint")
+
+#: Default targets ask for this fraction of the reference design's cost.
+DEFAULT_TARGET_FRACTION = 0.5
+
+
+class TimeloopGymEnv(ArchGymEnv):
+    """Design an Eyeriss-like accelerator for a target CNN."""
+
+    env_id = "TimeloopGym-v0"
+
+    def __init__(
+        self,
+        workload: str = "resnet50",
+        objective: str = "latency",
+        latency_target_ms: Optional[float] = None,
+        energy_target_mj: Optional[float] = None,
+        episode_length: int = 1,
+        terminate_on_target: bool = False,
+        cache_size: int = 4096,
+    ) -> None:
+        self.layers = get_workload(workload)
+        self.model = TimeloopModel()
+
+        reference = self.model.evaluate_network(EYERISS_LIKE, self.layers)
+        if latency_target_ms is None:
+            latency_target_ms = reference["latency"] * DEFAULT_TARGET_FRACTION
+        if energy_target_mj is None:
+            energy_target_mj = reference["energy"] * DEFAULT_TARGET_FRACTION
+
+        if objective == "latency":
+            reward: RewardSpec = TargetReward("latency", target=latency_target_ms, tolerance=0.05)
+        elif objective == "energy":
+            reward = TargetReward("energy", target=energy_target_mj, tolerance=0.05)
+        elif objective == "joint":
+            reward = JointTargetReward(
+                components=(
+                    TargetReward("latency", target=latency_target_ms, tolerance=0.05),
+                    TargetReward("energy", target=energy_target_mj, tolerance=0.05),
+                )
+            )
+        else:
+            raise EnvironmentError_(
+                f"unknown Timeloop objective {objective!r}; valid: {TIMELOOP_OBJECTIVES}"
+            )
+
+        super().__init__(
+            action_space=accelerator_space(),
+            observation_metrics=["latency", "energy", "area"],
+            reward_spec=reward,
+            episode_length=episode_length,
+            terminate_on_target=terminate_on_target,
+        )
+        self.workload = workload
+        self.objective = objective
+        self.latency_target_ms = latency_target_ms
+        self.energy_target_mj = energy_target_mj
+        self._cache = EvaluationCache(cache_size)
+
+    def evaluate(self, action: Mapping[str, Any]) -> Dict[str, float]:
+        key = tuple(self.action_space.encode(action))
+        return self._cache.get_or_compute(
+            key,
+            lambda: self.model.evaluate_network(
+                AcceleratorConfig.from_action(action), self.layers
+            ),
+        )

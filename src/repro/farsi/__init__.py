@@ -1,0 +1,29 @@
+"""SoC substrate — the FARSI stand-in (paper Table 3)."""
+
+from repro.farsi.simulator import INFEASIBLE_SOC_PENALTY, FarsiSimulator, SocResult
+from repro.farsi.soc import N_SLOTS, PE_CATALOG, PEType, SoCConfig, soc_space
+from repro.farsi.taskgraph import TASK_KINDS, Task, TaskGraph
+from repro.farsi.workloads import (
+    FARSI_WORKLOAD_NAMES,
+    FARSI_WORKLOADS,
+    FarsiWorkload,
+    get_farsi_workload,
+)
+
+__all__ = [
+    "INFEASIBLE_SOC_PENALTY",
+    "FarsiSimulator",
+    "SocResult",
+    "N_SLOTS",
+    "PE_CATALOG",
+    "PEType",
+    "SoCConfig",
+    "soc_space",
+    "TASK_KINDS",
+    "Task",
+    "TaskGraph",
+    "FARSI_WORKLOAD_NAMES",
+    "FARSI_WORKLOADS",
+    "FarsiWorkload",
+    "get_farsi_workload",
+]

@@ -1,0 +1,153 @@
+"""FARSI-style SoC simulator: list scheduling + roofline estimation.
+
+Given a :class:`SoCConfig` and a :class:`TaskGraph`, the simulator maps
+tasks to PEs with an earliest-finish-time (HEFT-like) list scheduler,
+serializes cross-PE transfers on the shared bus, and produces the
+``<power, performance, area>`` observation of Table 3.
+
+- **performance** — the schedule makespan in milliseconds,
+- **power** — dynamic energy / makespan plus the static power of every
+  instantiated component, in milliwatts,
+- **area** — summed component area in mm^2.
+
+SoCs with no PEs are *infeasible* and receive penalty metrics (the
+paper's search spaces contain such points; agents must learn around
+them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.errors import SimulationError
+from repro.farsi.soc import SoCConfig
+from repro.farsi.taskgraph import TaskGraph
+
+__all__ = ["SocResult", "FarsiSimulator", "INFEASIBLE_SOC_PENALTY"]
+
+#: Metric value reported for SoCs that cannot run the workload at all.
+INFEASIBLE_SOC_PENALTY = 1e9
+
+#: Energy per byte moved across the bus / through memory (nanojoules).
+E_NOC_NJ_PER_BYTE = 0.05
+E_MEM_NJ_PER_BYTE = 0.12
+
+
+@dataclass(frozen=True)
+class SocResult:
+    """Outcome of scheduling one task graph onto one SoC."""
+
+    makespan_ms: float
+    power_mw: float
+    area_mm2: float
+    feasible: bool
+    assignment: Dict[str, str]           # task -> PE name (with slot index)
+    pe_busy_ms: Dict[str, float]
+    comm_ms: float
+
+    def metrics(self) -> Dict[str, float]:
+        """The FARSIGym observation dictionary."""
+        return {
+            "performance": self.makespan_ms,
+            "power": self.power_mw,
+            "area": self.area_mm2,
+            "feasible": 1.0 if self.feasible else 0.0,
+        }
+
+
+class FarsiSimulator:
+    """Schedules task graphs onto SoC design points."""
+
+    def simulate(self, config: SoCConfig, graph: TaskGraph) -> SocResult:
+        """Map ``graph`` onto ``config`` and estimate cost."""
+        if len(graph) == 0:
+            raise SimulationError("cannot simulate an empty task graph")
+        pes = config.pes
+        if not pes:
+            return SocResult(
+                makespan_ms=INFEASIBLE_SOC_PENALTY,
+                power_mw=INFEASIBLE_SOC_PENALTY,
+                area_mm2=config.area_mm2,
+                feasible=False,
+                assignment={},
+                pe_busy_ms={},
+                comm_ms=0.0,
+            )
+
+        labels = [f"{pe.name}#{i}" for i, pe in enumerate(pes)]
+        pe_free = [0.0] * len(pes)
+        pe_busy = [0.0] * len(pes)
+        bus_free = 0.0
+        finish: Dict[str, float] = {}
+        assign: Dict[str, int] = {}
+        dynamic_energy_mj = 0.0
+        comm_total_ms = 0.0
+        bw = config.transfer_bw_gbps  # GB/s == KiB/us * 1024/1e3 — see below
+
+        def transfer_ms(kib: float) -> float:
+            # KiB -> bytes, GB/s -> bytes/ms (1 GB/s = 1e6 bytes/ms)
+            return (kib * 1024.0) / (bw * 1e6)
+
+        for task in graph.topological_order():
+            preds = graph.predecessors(task.name)
+
+            # pick the PE with the earliest finish time (ties: lower power)
+            best_pe = -1
+            best_eft = float("inf")
+            best_power = float("inf")
+            for idx, pe in enumerate(pes):
+                data_ready = 0.0
+                for pred, kib in preds:
+                    ready = finish[pred.name]
+                    if assign[pred.name] != idx:
+                        ready += transfer_ms(kib)
+                    data_ready = max(data_ready, ready)
+                est = max(pe_free[idx], data_ready)
+                eft = est + pe.exec_time_ms(task.mops, task.kind)
+                if eft < best_eft - 1e-12 or (
+                    abs(eft - best_eft) <= 1e-12 and pe.active_mw < best_power
+                ):
+                    best_pe, best_eft, best_power = idx, eft, pe.active_mw
+            pe = pes[best_pe]
+
+            # commit: serialize this task's inbound transfers on the bus
+            data_ready = 0.0
+            for pred, kib in preds:
+                ready = finish[pred.name]
+                if assign[pred.name] != best_pe:
+                    t0 = max(bus_free, ready)
+                    dt = transfer_ms(kib)
+                    bus_free = t0 + dt
+                    comm_total_ms += dt
+                    bytes_moved = kib * 1024.0
+                    dynamic_energy_mj += bytes_moved * (
+                        E_NOC_NJ_PER_BYTE + E_MEM_NJ_PER_BYTE
+                    ) * 1e-6
+                    ready = bus_free
+                data_ready = max(data_ready, ready)
+
+            start = max(pe_free[best_pe], data_ready)
+            exec_ms = pe.exec_time_ms(task.mops, task.kind)
+            end = start + exec_ms
+            pe_free[best_pe] = end
+            pe_busy[best_pe] += exec_ms
+            finish[task.name] = end
+            assign[task.name] = best_pe
+            # mW * ms = microjoules; store as millijoules
+            dynamic_energy_mj += pe.active_mw * exec_ms * 1e-3
+
+        makespan = max(finish.values())
+        # mJ / ms = W; *1e3 -> mW
+        dynamic_mw = dynamic_energy_mj * 1e3 / max(makespan, 1e-9) if makespan > 0 else 0.0
+        power_mw = dynamic_mw + config.static_mw
+
+        return SocResult(
+            makespan_ms=makespan,
+            power_mw=power_mw,
+            area_mm2=config.area_mm2,
+            feasible=True,
+            assignment={t: labels[i] for t, i in assign.items()},
+            pe_busy_ms=dict(zip(labels, pe_busy)),
+            comm_ms=comm_total_ms,
+        )

@@ -1,0 +1,122 @@
+"""Task dependency graphs — the FARSI workload representation.
+
+FARSI models an AR/VR application as a DAG of tasks; each task carries a
+compute demand (mega-operations) and a *kind* that determines which IPs
+can accelerate it; each edge carries the data volume (KiB) the consumer
+reads from the producer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+import networkx as nx
+
+from repro.core.errors import SimulationError
+
+__all__ = ["Task", "TaskGraph", "TASK_KINDS"]
+
+#: Task kinds; accelerator IPs advertise speedups per kind.
+TASK_KINDS = ("generic", "dsp", "imaging", "crypto")
+
+
+@dataclass(frozen=True)
+class Task:
+    """One node of the application DAG."""
+
+    name: str
+    mops: float                 # compute demand in mega-operations
+    kind: str = "generic"
+
+    def __post_init__(self) -> None:
+        if self.mops <= 0:
+            raise SimulationError(f"task {self.name!r} needs mops > 0")
+        if self.kind not in TASK_KINDS:
+            raise SimulationError(
+                f"task {self.name!r} has unknown kind {self.kind!r}; "
+                f"valid: {TASK_KINDS}"
+            )
+
+
+class TaskGraph:
+    """A named DAG of :class:`Task` nodes with data-volume edges."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._graph = nx.DiGraph()
+        self._tasks: Dict[str, Task] = {}
+
+    # -- construction -------------------------------------------------------------
+
+    def add_task(self, task: Task) -> None:
+        if task.name in self._tasks:
+            raise SimulationError(f"duplicate task {task.name!r}")
+        self._tasks[task.name] = task
+        self._graph.add_node(task.name)
+
+    def add_edge(self, producer: str, consumer: str, kib: float) -> None:
+        """Declare that ``consumer`` reads ``kib`` KiB from ``producer``."""
+        for name in (producer, consumer):
+            if name not in self._tasks:
+                raise SimulationError(f"unknown task {name!r}")
+        if kib < 0:
+            raise SimulationError("edge data volume must be >= 0")
+        self._graph.add_edge(producer, consumer, kib=float(kib))
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(producer, consumer)
+            raise SimulationError(
+                f"edge {producer!r}->{consumer!r} would create a cycle"
+            )
+
+    # -- queries ---------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def tasks(self) -> List[Task]:
+        return [self._tasks[n] for n in self._graph.nodes]
+
+    def task(self, name: str) -> Task:
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise SimulationError(f"unknown task {name!r}") from None
+
+    def topological_order(self) -> List[Task]:
+        return [self._tasks[n] for n in nx.topological_sort(self._graph)]
+
+    def predecessors(self, name: str) -> List[Tuple[Task, float]]:
+        """(producer task, KiB transferred) pairs feeding ``name``."""
+        return [
+            (self._tasks[p], self._graph.edges[p, name]["kib"])
+            for p in self._graph.predecessors(name)
+        ]
+
+    def edges(self) -> Iterable[Tuple[str, str, float]]:
+        for u, v, data in self._graph.edges(data=True):
+            yield u, v, data["kib"]
+
+    @property
+    def total_mops(self) -> float:
+        return sum(t.mops for t in self._tasks.values())
+
+    @property
+    def total_traffic_kib(self) -> float:
+        return sum(kib for _, _, kib in self.edges())
+
+    def critical_path_mops(self) -> float:
+        """Compute demand along the heaviest dependency chain — a lower
+        bound on serialized work regardless of PE count."""
+        best: Dict[str, float] = {}
+        for task in self.topological_order():
+            preds = [best[p.name] for p, _ in self.predecessors(task.name)]
+            best[task.name] = task.mops + (max(preds) if preds else 0.0)
+        return max(best.values()) if best else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskGraph({self.name!r}, tasks={len(self)}, "
+            f"mops={self.total_mops:.0f}, traffic={self.total_traffic_kib:.0f}KiB)"
+        )

@@ -1,0 +1,153 @@
+"""AR/VR workload task graphs (FARSI's packaged applications).
+
+FARSI ships audio/image-processing pipelines from an AR/VR use case; the
+paper's experiments use the audio decoder and edge detection apps. The
+graphs below mirror those pipelines' structure: a decode/filter chain
+with data-parallel middle stages, compute demands in mega-ops and edge
+volumes in KiB sized like real 48 kHz audio frames / VGA video frames.
+
+Each workload also defines the paper's optimization *budgets*
+(performance in ms, power in mW, area in mm^2) used by the
+distance-to-budget reward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.errors import SimulationError
+from repro.farsi.taskgraph import Task, TaskGraph
+
+__all__ = ["FarsiWorkload", "FARSI_WORKLOADS", "get_farsi_workload", "FARSI_WORKLOAD_NAMES"]
+
+
+@dataclass(frozen=True)
+class FarsiWorkload:
+    """A task graph plus its design budgets."""
+
+    graph: TaskGraph
+    perf_budget_ms: float
+    power_budget_mw: float
+    area_budget_mm2: float
+
+    @property
+    def budgets(self) -> Dict[str, float]:
+        return {
+            "performance": self.perf_budget_ms,
+            "power": self.power_budget_mw,
+            "area": self.area_budget_mm2,
+        }
+
+
+def _audio_decoder() -> TaskGraph:
+    g = TaskGraph("audio_decoder")
+    g.add_task(Task("bitstream_parse", mops=600.0))
+    g.add_task(Task("huffman_decode", mops=3000.0))
+    g.add_task(Task("dequantize_L", mops=1800.0, kind="dsp"))
+    g.add_task(Task("dequantize_R", mops=1800.0, kind="dsp"))
+    g.add_task(Task("imdct_L", mops=9000.0, kind="dsp"))
+    g.add_task(Task("imdct_R", mops=9000.0, kind="dsp"))
+    g.add_task(Task("window_overlap_L", mops=2400.0, kind="dsp"))
+    g.add_task(Task("window_overlap_R", mops=2400.0, kind="dsp"))
+    g.add_task(Task("stereo_mix", mops=1200.0, kind="dsp"))
+    g.add_task(Task("post_filter", mops=3600.0, kind="dsp"))
+    g.add_task(Task("output_pcm", mops=400.0))
+    g.add_edge("bitstream_parse", "huffman_decode", kib=24.0)
+    g.add_edge("huffman_decode", "dequantize_L", kib=48.0)
+    g.add_edge("huffman_decode", "dequantize_R", kib=48.0)
+    g.add_edge("dequantize_L", "imdct_L", kib=64.0)
+    g.add_edge("dequantize_R", "imdct_R", kib=64.0)
+    g.add_edge("imdct_L", "window_overlap_L", kib=64.0)
+    g.add_edge("imdct_R", "window_overlap_R", kib=64.0)
+    g.add_edge("window_overlap_L", "stereo_mix", kib=64.0)
+    g.add_edge("window_overlap_R", "stereo_mix", kib=64.0)
+    g.add_edge("stereo_mix", "post_filter", kib=128.0)
+    g.add_edge("post_filter", "output_pcm", kib=128.0)
+    return g
+
+
+def _edge_detection() -> TaskGraph:
+    g = TaskGraph("edge_detection")
+    g.add_task(Task("capture", mops=800.0))
+    g.add_task(Task("debayer", mops=11000.0, kind="imaging"))
+    g.add_task(Task("grayscale", mops=5500.0, kind="imaging"))
+    g.add_task(Task("gaussian_blur", mops=26000.0, kind="imaging"))
+    g.add_task(Task("sobel_x", mops=18000.0, kind="imaging"))
+    g.add_task(Task("sobel_y", mops=18000.0, kind="imaging"))
+    g.add_task(Task("gradient_mag", mops=9500.0, kind="imaging"))
+    g.add_task(Task("non_max_suppress", mops=12000.0, kind="imaging"))
+    g.add_task(Task("hysteresis", mops=7500.0))
+    g.add_task(Task("overlay_render", mops=4000.0))
+    g.add_edge("capture", "debayer", kib=900.0)
+    g.add_edge("debayer", "grayscale", kib=900.0)
+    g.add_edge("grayscale", "gaussian_blur", kib=300.0)
+    g.add_edge("gaussian_blur", "sobel_x", kib=300.0)
+    g.add_edge("gaussian_blur", "sobel_y", kib=300.0)
+    g.add_edge("sobel_x", "gradient_mag", kib=300.0)
+    g.add_edge("sobel_y", "gradient_mag", kib=300.0)
+    g.add_edge("gradient_mag", "non_max_suppress", kib=300.0)
+    g.add_edge("non_max_suppress", "hysteresis", kib=300.0)
+    g.add_edge("hysteresis", "overlay_render", kib=300.0)
+    return g
+
+
+def _hand_tracking() -> TaskGraph:
+    """Stereo hand-tracking pipeline: two camera streams converge into a
+    model-inference stage followed by gesture classification."""
+    g = TaskGraph("hand_tracking")
+    g.add_task(Task("capture_L", mops=400.0))
+    g.add_task(Task("capture_R", mops=400.0))
+    g.add_task(Task("rectify_L", mops=6000.0, kind="imaging"))
+    g.add_task(Task("rectify_R", mops=6000.0, kind="imaging"))
+    g.add_task(Task("feature_extract_L", mops=14000.0, kind="imaging"))
+    g.add_task(Task("feature_extract_R", mops=14000.0, kind="imaging"))
+    g.add_task(Task("stereo_match", mops=20000.0, kind="imaging"))
+    g.add_task(Task("hand_pose_dnn", mops=30000.0, kind="dsp"))
+    g.add_task(Task("gesture_classify", mops=4000.0, kind="dsp"))
+    g.add_task(Task("render_overlay", mops=2500.0))
+    g.add_edge("capture_L", "rectify_L", kib=600.0)
+    g.add_edge("capture_R", "rectify_R", kib=600.0)
+    g.add_edge("rectify_L", "feature_extract_L", kib=600.0)
+    g.add_edge("rectify_R", "feature_extract_R", kib=600.0)
+    g.add_edge("feature_extract_L", "stereo_match", kib=200.0)
+    g.add_edge("feature_extract_R", "stereo_match", kib=200.0)
+    g.add_edge("stereo_match", "hand_pose_dnn", kib=150.0)
+    g.add_edge("hand_pose_dnn", "gesture_classify", kib=32.0)
+    g.add_edge("gesture_classify", "render_overlay", kib=16.0)
+    return g
+
+
+FARSI_WORKLOADS: Dict[str, FarsiWorkload] = {
+    "audio_decoder": FarsiWorkload(
+        graph=_audio_decoder(),
+        perf_budget_ms=2.0,
+        power_budget_mw=60.0,
+        area_budget_mm2=12.0,
+    ),
+    "edge_detection": FarsiWorkload(
+        graph=_edge_detection(),
+        perf_budget_ms=4.5,
+        power_budget_mw=90.0,
+        area_budget_mm2=13.0,
+    ),
+    "hand_tracking": FarsiWorkload(
+        graph=_hand_tracking(),
+        perf_budget_ms=4.5,
+        power_budget_mw=95.0,
+        area_budget_mm2=12.0,
+    ),
+}
+
+#: Names accepted by :func:`get_farsi_workload`.
+FARSI_WORKLOAD_NAMES = tuple(FARSI_WORKLOADS)
+
+
+def get_farsi_workload(name: str) -> FarsiWorkload:
+    """Return a named AR/VR workload (graph + budgets)."""
+    try:
+        return FARSI_WORKLOADS[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown FARSI workload {name!r}; have {sorted(FARSI_WORKLOADS)}"
+        ) from None

@@ -1,0 +1,24 @@
+"""DNN mapping substrate — the MAESTRO stand-in (paper Table 3)."""
+
+from repro.maestro.mapping import LOOP_DIMS, LOOP_ORDERS, Mapping, mapping_space
+from repro.maestro.model import (
+    CLOUD_ACCELERATOR,
+    EDGE_ACCELERATOR,
+    MAESTRO_INFEASIBLE,
+    MaestroAccelerator,
+    MaestroLayerCost,
+    MaestroModel,
+)
+
+__all__ = [
+    "LOOP_DIMS",
+    "LOOP_ORDERS",
+    "Mapping",
+    "mapping_space",
+    "MAESTRO_INFEASIBLE",
+    "CLOUD_ACCELERATOR",
+    "EDGE_ACCELERATOR",
+    "MaestroAccelerator",
+    "MaestroLayerCost",
+    "MaestroModel",
+]

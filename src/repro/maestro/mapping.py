@@ -1,0 +1,114 @@
+"""Data-centric DNN mapping directives — the MaestroGym action space.
+
+MAESTRO describes a mapping as per-dimension tile sizes at two buffer
+levels (L1 per-PE scratchpads, L2 shared buffer), a spatial
+parallelization dimension with a cluster size, and the temporal loop
+order. GAMMA searches exactly this genome; the Fig. 3 MaestroGym space
+(1e24 raw design points for a VGG16 layer) is this product space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+from typing import Any, Dict, Mapping as TMapping, Tuple
+
+from repro.core.errors import SimulationError
+from repro.core.spaces import Categorical, CompositeSpace, Discrete
+
+__all__ = ["Mapping", "mapping_space", "LOOP_DIMS", "LOOP_ORDERS"]
+
+#: The temporally tiled loop dimensions (filter dims R/S stay unrolled).
+LOOP_DIMS = ("K", "C", "P", "Q")
+
+#: All 24 temporal orderings of the tiled dimensions, outermost first.
+LOOP_ORDERS = tuple("".join(p) for p in permutations(LOOP_DIMS))
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """One mapping design point (applied layer-wise with clipping)."""
+
+    parallel_dim: str = "K"
+    cluster: int = 16
+    order: str = "KCPQ"
+    tile_k1: int = 2
+    tile_c1: int = 2
+    tile_p1: int = 2
+    tile_q1: int = 2
+    tile_k2: int = 64
+    tile_c2: int = 32
+    tile_p2: int = 8
+    tile_q2: int = 8
+
+    def __post_init__(self) -> None:
+        if self.parallel_dim not in LOOP_DIMS:
+            raise SimulationError(f"parallel_dim must be one of {LOOP_DIMS}")
+        if self.order not in LOOP_ORDERS:
+            raise SimulationError(f"order {self.order!r} is not a permutation of {LOOP_DIMS}")
+        if self.cluster < 1:
+            raise SimulationError("cluster must be >= 1")
+        for name in (
+            "tile_k1", "tile_c1", "tile_p1", "tile_q1",
+            "tile_k2", "tile_c2", "tile_p2", "tile_q2",
+        ):
+            if getattr(self, name) < 1:
+                raise SimulationError(f"{name} must be >= 1")
+
+    def l1_tile(self, dim: str) -> int:
+        return {"K": self.tile_k1, "C": self.tile_c1,
+                "P": self.tile_p1, "Q": self.tile_q1}[dim]
+
+    def l2_tile(self, dim: str) -> int:
+        return {"K": self.tile_k2, "C": self.tile_c2,
+                "P": self.tile_p2, "Q": self.tile_q2}[dim]
+
+    @classmethod
+    def from_action(cls, action: TMapping[str, Any]) -> "Mapping":
+        return cls(
+            parallel_dim=action["ParallelDim"],
+            cluster=int(action["ClusterSize"]),
+            order=action["LoopOrder"],
+            tile_k1=int(action["TileK_L1"]),
+            tile_c1=int(action["TileC_L1"]),
+            tile_p1=int(action["TileP_L1"]),
+            tile_q1=int(action["TileQ_L1"]),
+            tile_k2=int(action["TileK_L2"]),
+            tile_c2=int(action["TileC_L2"]),
+            tile_p2=int(action["TileP_L2"]),
+            tile_q2=int(action["TileQ_L2"]),
+        )
+
+    def to_action(self) -> Dict[str, Any]:
+        return {
+            "ParallelDim": self.parallel_dim,
+            "ClusterSize": self.cluster,
+            "LoopOrder": self.order,
+            "TileK_L1": self.tile_k1,
+            "TileC_L1": self.tile_c1,
+            "TileP_L1": self.tile_p1,
+            "TileQ_L1": self.tile_q1,
+            "TileK_L2": self.tile_k2,
+            "TileC_L2": self.tile_c2,
+            "TileP_L2": self.tile_p2,
+            "TileQ_L2": self.tile_q2,
+        }
+
+
+def mapping_space() -> CompositeSpace:
+    """The MaestroGym action space (paper Fig. 3)."""
+    return CompositeSpace(
+        [
+            Categorical("ParallelDim", LOOP_DIMS),
+            Discrete.pow2("ClusterSize", 1, 64),
+            Categorical("LoopOrder", LOOP_ORDERS),
+            Discrete.pow2("TileK_L1", 1, 64),
+            Discrete.pow2("TileC_L1", 1, 64),
+            Discrete.pow2("TileP_L1", 1, 16),
+            Discrete.pow2("TileQ_L1", 1, 16),
+            Discrete.pow2("TileK_L2", 1, 512),
+            Discrete.pow2("TileC_L2", 1, 512),
+            Discrete.pow2("TileP_L2", 1, 64),
+            Discrete.pow2("TileQ_L2", 1, 64),
+        ]
+    )

@@ -1,0 +1,31 @@
+"""Sweep harness and lottery statistics (paper §6)."""
+
+from repro.sweeps.export import (
+    load_report_json,
+    report_to_rows,
+    save_report_csv,
+    save_report_json,
+)
+from repro.sweeps.plots import render_boxplot, render_boxplots
+from repro.sweeps.runner import SweepReport, run_lottery_sweep
+from repro.sweeps.stats import (
+    FiveNumberSummary,
+    iqr,
+    normalize_scores,
+    spread_percent,
+)
+
+__all__ = [
+    "load_report_json",
+    "report_to_rows",
+    "save_report_csv",
+    "save_report_json",
+    "render_boxplot",
+    "render_boxplots",
+    "SweepReport",
+    "run_lottery_sweep",
+    "FiveNumberSummary",
+    "iqr",
+    "normalize_scores",
+    "spread_percent",
+]

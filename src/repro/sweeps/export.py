@@ -1,0 +1,81 @@
+"""Export sweep results to JSON / CSV for external analysis.
+
+The paper's artifact releases curated result datasets alongside code;
+these helpers serialize a :class:`~repro.sweeps.runner.SweepReport`
+into portable formats (one row per trial) so downstream analysis and
+plotting don't need this library.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.core.errors import ArchGymError
+from repro.sweeps.runner import SweepReport
+
+__all__ = ["report_to_rows", "save_report_json", "save_report_csv", "load_report_json"]
+
+
+def report_to_rows(report: SweepReport) -> List[Dict[str, Any]]:
+    """Flatten a sweep report: one dict per (agent, trial)."""
+    rows: List[Dict[str, Any]] = []
+    for agent, results in report.results.items():
+        for trial, res in enumerate(results):
+            rows.append(
+                {
+                    "env_id": report.env_id,
+                    "agent": agent,
+                    "trial": trial,
+                    "n_samples": res.n_samples,
+                    "best_fitness": res.best_fitness,
+                    "best_reward": res.best_reward,
+                    "target_met": res.target_met,
+                    "wall_time_s": res.wall_time_s,
+                    "hyperparameters": dict(res.hyperparameters),
+                    "best_action": dict(res.best_action),
+                    "best_metrics": dict(res.best_metrics),
+                }
+            )
+    if not rows:
+        raise ArchGymError("sweep report has no trials to export")
+    return rows
+
+
+def save_report_json(report: SweepReport, path: str | Path) -> None:
+    """Write the full report (all trials, nested fields) as JSON."""
+    payload = {
+        "format": "archgym-sweep-v1",
+        "env_id": report.env_id,
+        "n_samples": report.n_samples,
+        "rows": report_to_rows(report),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, default=str))
+
+
+def load_report_json(path: str | Path) -> Dict[str, Any]:
+    """Load an exported report; returns the raw payload dict."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != "archgym-sweep-v1":
+        raise ArchGymError(f"{path} is not an ArchGym sweep export")
+    return payload
+
+
+def save_report_csv(report: SweepReport, path: str | Path) -> None:
+    """Write a flat CSV (nested dicts JSON-encoded into single columns)."""
+    rows = report_to_rows(report)
+    fieldnames = [
+        "env_id", "agent", "trial", "n_samples", "best_fitness",
+        "best_reward", "target_met", "wall_time_s",
+        "hyperparameters", "best_action", "best_metrics",
+    ]
+    with Path(path).open("w", newline="") as f:
+        writer = csv.DictWriter(f, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            flat = dict(row)
+            for key in ("hyperparameters", "best_action", "best_metrics"):
+                flat[key] = json.dumps(flat[key], default=str)
+            writer.writerow(flat)

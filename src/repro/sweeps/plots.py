@@ -1,0 +1,81 @@
+"""Terminal box plots for lottery sweeps (the Fig. 4/5 visualization).
+
+The paper presents the hyperparameter lottery as per-agent box plots of
+outcome distributions. This module renders the same view as monospace
+text so reports are self-contained in logs and CI output:
+
+    aco  |------[====|=====]-------------|      best *
+    bo        |--[==|==]--|                     best *
+
+Each row maps the agent's five-number summary onto a shared horizontal
+axis: whiskers (min..max), box (Q1..Q3), median bar, and a star at the
+agent's best outcome.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.errors import ArchGymError
+from repro.sweeps.stats import FiveNumberSummary
+
+__all__ = ["render_boxplot", "render_boxplots"]
+
+
+def render_boxplot(
+    values: Sequence[float],
+    lo: float,
+    hi: float,
+    width: int = 50,
+    best_marker: bool = True,
+) -> str:
+    """Render one distribution as a text box plot on the axis [lo, hi]."""
+    if width < 10:
+        raise ArchGymError("box plot width must be >= 10")
+    if hi <= lo:
+        raise ArchGymError("axis needs hi > lo")
+    summary = FiveNumberSummary.from_values(values)
+
+    def col(x: float) -> int:
+        frac = (x - lo) / (hi - lo)
+        return int(round(min(max(frac, 0.0), 1.0) * (width - 1)))
+
+    cells = [" "] * width
+    c_min, c_q1 = col(summary.minimum), col(summary.q1)
+    c_med, c_q3, c_max = col(summary.median), col(summary.q3), col(summary.maximum)
+    for i in range(c_min, c_q1):
+        cells[i] = "-"
+    for i in range(c_q1, c_q3 + 1):
+        cells[i] = "="
+    for i in range(c_q3 + 1, c_max + 1):
+        cells[i] = "-"
+    cells[c_min] = "|"
+    cells[c_max] = "|"
+    cells[c_q1] = "["
+    cells[c_q3] = "]"
+    cells[c_med] = "#"
+    if best_marker:
+        cells[col(summary.maximum)] = "*"
+    return "".join(cells)
+
+
+def render_boxplots(
+    distributions: Dict[str, Sequence[float]], width: int = 50
+) -> str:
+    """Render several labeled distributions on one shared axis."""
+    if not distributions:
+        raise ArchGymError("no distributions to plot")
+    all_values = [v for vs in distributions.values() for v in vs]
+    lo, hi = float(np.min(all_values)), float(np.max(all_values))
+    if hi <= lo:
+        hi = lo + 1.0
+    label_w = max(len(k) for k in distributions) + 2
+    lines = []
+    for label, values in distributions.items():
+        plot = render_boxplot(values, lo, hi, width=width)
+        lines.append(f"{label:<{label_w}}{plot}")
+    axis = f"{'':<{label_w}}{lo:<12.4g}{'':^{max(width - 24, 0)}}{hi:>12.4g}"
+    lines.append(axis)
+    return "\n".join(lines)

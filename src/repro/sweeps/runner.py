@@ -1,0 +1,182 @@
+"""Hyperparameter sweep runner — the §6.1 experiment harness.
+
+``run_lottery_sweep`` executes the paper's core methodology: for each
+agent, draw ``n_trials`` random hyperparameter configurations, run each
+against a freshly built environment for ``n_samples`` cost-model
+queries, and collect the outcome distribution. The resulting
+:class:`SweepReport` answers the lottery questions directly — per-agent
+spread (IQR) and whether every agent's *best* ticket is competitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.agents.base import SearchResult, run_agent
+from repro.agents.hyperparams import make_agent, sample_hyperparams
+from repro.core.dataset import ArchGymDataset
+from repro.core.env import ArchGymEnv
+from repro.core.errors import ArchGymError
+from repro.sweeps.stats import FiveNumberSummary, normalize_scores, spread_percent
+
+__all__ = ["SweepReport", "run_lottery_sweep"]
+
+EnvFactory = Callable[[], ArchGymEnv]
+
+
+@dataclass
+class SweepReport:
+    """All trial outcomes of one lottery sweep."""
+
+    env_id: str
+    n_samples: int
+    results: Dict[str, List[SearchResult]] = field(default_factory=dict)
+    dataset: Optional[ArchGymDataset] = None
+
+    # -- lottery analytics ------------------------------------------------------------
+
+    def best_fitness(self, agent: str) -> float:
+        """The agent's winning lottery ticket."""
+        return max(r.best_fitness for r in self._get(agent))
+
+    def best_result(self, agent: str) -> SearchResult:
+        return max(self._get(agent), key=lambda r: r.best_fitness)
+
+    def fitness_distribution(self, agent: str) -> List[float]:
+        return [r.best_fitness for r in self._get(agent)]
+
+    def summary(self, agent: str) -> FiveNumberSummary:
+        return FiveNumberSummary.from_values(self.fitness_distribution(agent))
+
+    def spread(self, agent: str) -> float:
+        """IQR spread (% of median) across the hyperparameter sweep."""
+        return spread_percent(self.fitness_distribution(agent))
+
+    def normalized_best(self) -> Dict[str, float]:
+        """Each agent's best fitness normalized to the overall winner."""
+        return normalize_scores({a: self.best_fitness(a) for a in self.results})
+
+    def normalized_best_at(self, budget: int) -> Dict[str, float]:
+        """Fig. 7: normalized best fitness when each trial is truncated to
+        its first ``budget`` samples."""
+        scores = {
+            a: max(r.fitness_at(budget) for r in rs)
+            for a, rs in self.results.items()
+        }
+        return normalize_scores(scores)
+
+    def mean_normalized_at(self, budget: int) -> Dict[str, float]:
+        """Fig. 7's y-axis: per-agent *mean* normalized fitness over the
+        sweep at a sample budget.
+
+        The scale is fixed globally (floor = the worst first-sample
+        fitness, ceiling = the best final fitness across the whole
+        sweep) and log-compressed, so the series are comparable across
+        budgets and monotone per agent — target-style rewards diverge
+        near the target, and a raw-linear normalization would let one
+        lucky trial flatten every other curve.
+        """
+        floor = min(r.fitness_at(1) for rs in self.results.values() for r in rs)
+        ceiling = max(
+            r.best_fitness for rs in self.results.values() for r in rs
+        )
+        span = np.log1p(max(ceiling - floor, 0.0))
+        if span <= 1e-15:
+            return {a: 1.0 for a in self.results}
+        out = {}
+        for a, rs in self.results.items():
+            vals = [
+                np.log1p(max(r.fitness_at(budget) - floor, 0.0)) / span
+                for r in rs
+            ]
+            out[a] = float(np.mean(vals))
+        return out
+
+    def _get(self, agent: str) -> List[SearchResult]:
+        try:
+            results = self.results[agent]
+        except KeyError:
+            raise ArchGymError(
+                f"agent {agent!r} not in sweep; have {sorted(self.results)}"
+            ) from None
+        if not results:
+            raise ArchGymError(f"agent {agent!r} has no trials")
+        return results
+
+    def print_table(self, boxplots: bool = False) -> str:
+        lines = [f"=== lottery sweep on {self.env_id} ({self.n_samples} samples/trial) ==="]
+        for agent in sorted(self.results):
+            lines.append(self.summary(agent).row(agent))
+            lines.append(
+                f"{'':28s} spread={self.spread(agent):6.1f}%  "
+                f"best={self.best_fitness(agent):10.4g}"
+            )
+        norm = self.normalized_best()
+        lines.append(
+            "normalized best: "
+            + "  ".join(f"{a}={v:.3f}" for a, v in sorted(norm.items()))
+        )
+        if boxplots:
+            from repro.sweeps.plots import render_boxplots
+
+            lines.append(
+                render_boxplots(
+                    {a: self.fitness_distribution(a) for a in sorted(self.results)}
+                )
+            )
+        return "\n".join(lines)
+
+
+def run_lottery_sweep(
+    env_factory: EnvFactory,
+    agents: Sequence[str],
+    n_trials: int = 8,
+    n_samples: int = 200,
+    seed: int = 0,
+    collect_dataset: bool = False,
+) -> SweepReport:
+    """Run the hyperparameter-lottery experiment.
+
+    Parameters
+    ----------
+    env_factory:
+        Builds a fresh environment per trial (trials must not share
+        caches or datasets unless ``collect_dataset`` aggregates them).
+    agents:
+        Agent short names (see :data:`repro.agents.AGENT_NAMES`).
+    n_trials:
+        Hyperparameter lottery tickets per agent.
+    n_samples:
+        Cost-model queries per trial — the paper's comparison unit.
+    collect_dataset:
+        Aggregate every trial's trajectories into one multi-source
+        dataset (the §7 pipeline).
+    """
+    if n_trials < 1 or n_samples < 1:
+        raise ArchGymError("n_trials and n_samples must be >= 1")
+    rng = np.random.default_rng(seed)
+    probe = env_factory()
+    report = SweepReport(env_id=probe.env_id, n_samples=n_samples)
+    if collect_dataset:
+        report.dataset = ArchGymDataset(probe.env_id)
+
+    for agent_name in agents:
+        report.results[agent_name] = []
+        for trial in range(n_trials):
+            env = env_factory()
+            if report.dataset is not None:
+                env.attach_dataset(report.dataset)
+            hyperparams = sample_hyperparams(agent_name, rng)
+            agent = make_agent(
+                agent_name, env.action_space,
+                seed=int(rng.integers(2**31 - 1)), **hyperparams,
+            )
+            result = run_agent(
+                agent, env, n_samples=n_samples,
+                seed=int(rng.integers(2**31 - 1)),
+            )
+            report.results[agent_name].append(result)
+    return report

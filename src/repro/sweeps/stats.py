@@ -1,0 +1,95 @@
+"""Statistics for hyperparameter-lottery analysis (paper §6.1).
+
+The paper reports the *statistical spread* of each agent's outcomes
+across a hyperparameter sweep as the interquartile range (footnote 1),
+and compares agents under sample budgets by *mean normalized reward*
+(Fig. 7). These helpers implement exactly those quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.errors import ArchGymError
+
+__all__ = ["iqr", "spread_percent", "normalize_scores", "FiveNumberSummary"]
+
+
+def iqr(values: Sequence[float]) -> float:
+    """Interquartile range (Q3 - Q1)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ArchGymError("iqr of an empty sequence")
+    q75, q25 = np.percentile(arr, [75, 25])
+    return float(q75 - q25)
+
+
+def spread_percent(values: Sequence[float]) -> float:
+    """IQR as a percentage of the median magnitude — the paper's
+    "statistical spread of up to 90%" measure."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ArchGymError("spread of an empty sequence")
+    med = float(np.median(np.abs(arr)))
+    if med <= 1e-15:
+        scale = float(np.max(np.abs(arr)))
+        if scale <= 1e-15:
+            return 0.0
+        return 100.0 * iqr(arr) / scale
+    return 100.0 * iqr(arr) / med
+
+
+def normalize_scores(scores: Dict[str, float]) -> Dict[str, float]:
+    """Normalize per-agent scores to the best agent (best -> 1.0).
+
+    Scores must be maximize-me fitness values; negative fitness (e.g.
+    negated budget distances) is shifted to a positive scale first so
+    the normalization stays in [0, 1].
+    """
+    if not scores:
+        raise ArchGymError("no scores to normalize")
+    values = np.array(list(scores.values()), dtype=np.float64)
+    low = values.min()
+    if low < 0:
+        values = values - low
+    top = values.max()
+    if top <= 1e-15:
+        return {k: 1.0 for k in scores}
+    return {k: float(v / top) for k, v in zip(scores, values)}
+
+
+@dataclass(frozen=True)
+class FiveNumberSummary:
+    """min / Q1 / median / Q3 / max of a score distribution."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    n: int
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "FiveNumberSummary":
+        arr = np.asarray(list(values), dtype=np.float64)
+        if arr.size == 0:
+            raise ArchGymError("summary of an empty sequence")
+        q1, med, q3 = np.percentile(arr, [25, 50, 75])
+        return cls(
+            minimum=float(arr.min()), q1=float(q1), median=float(med),
+            q3=float(q3), maximum=float(arr.max()), n=int(arr.size),
+        )
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    def row(self, label: str) -> str:
+        return (
+            f"{label:28s} n={self.n:3d}  min={self.minimum:10.4g}  "
+            f"q1={self.q1:10.4g}  med={self.median:10.4g}  "
+            f"q3={self.q3:10.4g}  max={self.maximum:10.4g}  iqr={self.iqr:10.4g}"
+        )

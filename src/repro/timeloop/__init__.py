@@ -1,0 +1,19 @@
+"""DNN accelerator substrate — the Timeloop stand-in (paper Table 3)."""
+
+from repro.timeloop.arch import (
+    EYERISS_LIKE,
+    AcceleratorConfig,
+    EnergyModel,
+    accelerator_space,
+)
+from repro.timeloop.model import INFEASIBLE_PENALTY, LayerCost, TimeloopModel
+
+__all__ = [
+    "EYERISS_LIKE",
+    "AcceleratorConfig",
+    "EnergyModel",
+    "accelerator_space",
+    "INFEASIBLE_PENALTY",
+    "LayerCost",
+    "TimeloopModel",
+]

@@ -1,0 +1,123 @@
+"""Tests for dataset coverage/diversity analytics (paper §7.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    action_entropy,
+    diversity_report,
+    pairwise_source_overlap,
+    parameter_coverage,
+    unique_design_fraction,
+)
+from repro.core.dataset import ArchGymDataset, Transition
+from repro.core.errors import DatasetError
+from repro.core.spaces import Categorical, CompositeSpace, Discrete
+
+
+def space():
+    return CompositeSpace(
+        [Discrete("x", 0, 3, 1), Categorical("m", ("a", "b"))]
+    )
+
+
+def transition(x, m, source="s"):
+    return Transition(action={"x": x, "m": m}, metrics={"c": 1.0},
+                      reward=1.0, source=source)
+
+
+class TestCoverage:
+    def test_full_coverage(self):
+        ds = ArchGymDataset("E")
+        for x in range(4):
+            for m in ("a", "b"):
+                ds.append(transition(x, m))
+        cov = parameter_coverage(ds, space())
+        assert cov == {"x": 1.0, "m": 1.0}
+
+    def test_partial_coverage(self):
+        ds = ArchGymDataset("E", [transition(0, "a"), transition(1, "a")])
+        cov = parameter_coverage(ds, space())
+        assert cov["x"] == pytest.approx(0.5)
+        assert cov["m"] == pytest.approx(0.5)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            parameter_coverage(ArchGymDataset("E"), space())
+
+
+class TestEntropy:
+    def test_uniform_exploration_entropy_one(self):
+        ds = ArchGymDataset("E")
+        for x in range(4):
+            for m in ("a", "b"):
+                ds.append(transition(x, m))
+        assert action_entropy(ds, space()) == pytest.approx(1.0)
+
+    def test_single_point_entropy_zero(self):
+        ds = ArchGymDataset("E", [transition(2, "b")] * 10)
+        assert action_entropy(ds, space()) == pytest.approx(0.0)
+
+    def test_entropy_between_extremes(self):
+        ds = ArchGymDataset("E", [transition(0, "a")] * 9 + [transition(3, "b")])
+        assert 0.0 < action_entropy(ds, space()) < 1.0
+
+
+class TestUniqueness:
+    def test_all_unique(self):
+        ds = ArchGymDataset("E", [transition(x, "a") for x in range(4)])
+        assert unique_design_fraction(ds, space()) == 1.0
+
+    def test_all_duplicates(self):
+        ds = ArchGymDataset("E", [transition(1, "a")] * 8)
+        assert unique_design_fraction(ds, space()) == pytest.approx(1 / 8)
+
+
+class TestSourceOverlap:
+    def test_disjoint_sources(self):
+        ds = ArchGymDataset("E")
+        ds.extend([transition(0, "a", "A"), transition(1, "a", "A")])
+        ds.extend([transition(2, "b", "B"), transition(3, "b", "B")])
+        assert pairwise_source_overlap(ds, space(), "A", "B") == 0.0
+
+    def test_identical_sources(self):
+        ds = ArchGymDataset("E")
+        ds.extend([transition(0, "a", "A"), transition(0, "a", "B")])
+        assert pairwise_source_overlap(ds, space(), "A", "B") == 1.0
+
+    def test_missing_source_rejected(self):
+        ds = ArchGymDataset("E", [transition(0, "a", "A")])
+        with pytest.raises(DatasetError):
+            pairwise_source_overlap(ds, space(), "A", "Z")
+
+
+class TestDiversityReport:
+    def test_report_keys_and_ranges(self):
+        ds = ArchGymDataset("E")
+        rng = np.random.default_rng(0)
+        sp = space()
+        for i in range(50):
+            action = sp.sample(rng)
+            ds.append(Transition(action=action, metrics={"c": 1.0},
+                                 reward=1.0, source=f"agent{i % 3}"))
+        report = diversity_report(ds, sp)
+        assert report["n"] == 50.0
+        assert report["n_sources"] == 3.0
+        assert 0.0 < report["mean_coverage"] <= 1.0
+        assert 0.0 <= report["action_entropy"] <= 1.0
+        assert 0.0 < report["unique_fraction"] <= 1.0
+
+    def test_multi_agent_exploration_is_more_diverse_than_converged(self):
+        """A converged agent (one repeated design) scores lower diversity
+        than uniform multi-agent exploration — the §7.3 rationale."""
+        sp = space()
+        rng = np.random.default_rng(1)
+        diverse = ArchGymDataset("E")
+        for __ in range(40):
+            diverse.append(Transition(action=sp.sample(rng), metrics={},
+                                      reward=1.0, source="mix"))
+        converged = ArchGymDataset("E", [transition(1, "a", "aco")] * 40)
+        assert (
+            diversity_report(diverse, sp)["action_entropy"]
+            > diversity_report(converged, sp)["action_entropy"]
+        )

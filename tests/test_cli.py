@@ -1,0 +1,112 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_env_and_agent(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--env", "DRAMGym-v0"])
+
+    def test_unknown_agent_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--env", "DRAMGym-v0", "--agent", "magic"]
+            )
+
+
+class TestCommands:
+    def test_envs_lists_all(self, capsys):
+        assert main(["envs"]) == 0
+        out = capsys.readouterr().out
+        for env_id in ("DRAMGym-v0", "TimeloopGym-v0", "FARSIGym-v0", "MaestroGym-v0"):
+            assert env_id in out
+
+    def test_agents_lists_grids(self, capsys):
+        assert main(["agents"]) == 0
+        out = capsys.readouterr().out
+        for name in ("aco", "bo", "ga", "rw", "rl", "offline"):
+            assert name in out
+
+    def test_run_maestro(self, capsys):
+        code = main([
+            "run", "--env", "MaestroGym-v0", "--agent", "rw",
+            "--samples", "10", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best reward" in out
+        assert "best design" in out
+
+    def test_run_with_hyperparams_json(self, capsys):
+        code = main([
+            "run", "--env", "MaestroGym-v0", "--agent", "ga",
+            "--samples", "12",
+            "--hyperparams", json.dumps({"population_size": 4}),
+        ])
+        assert code == 0
+        assert "population_size=4" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        code = main([
+            "sweep", "--env", "MaestroGym-v0", "--agents", "rw,ga",
+            "--trials", "2", "--samples", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lottery sweep" in out
+        assert "normalized best" in out
+
+    def test_collect_writes_jsonl(self, tmp_path, capsys):
+        out_path = tmp_path / "data.jsonl"
+        code = main([
+            "collect", "--env", "MaestroGym-v0", "--agents", "rw,ga",
+            "--samples", "8", "--out", str(out_path),
+        ])
+        assert code == 0
+        assert out_path.exists()
+        from repro.core.dataset import ArchGymDataset
+
+        ds = ArchGymDataset.load_jsonl(out_path)
+        assert len(ds) == 16
+        assert len(ds.sources) == 2
+
+    def test_run_with_workload_option(self, capsys):
+        code = main([
+            "run", "--env", "DRAMGym-v0", "--agent", "rw",
+            "--workload", "stream", "--objective", "latency",
+            "--samples", "5",
+        ])
+        assert code == 0
+
+    def test_sweep_with_boxplots_and_export(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        code = main([
+            "sweep", "--env", "MaestroGym-v0", "--agents", "rw",
+            "--trials", "2", "--samples", "8",
+            "--boxplots", "--export", str(out),
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "*" in stdout  # box plot rendered
+        from repro.sweeps.export import load_report_json
+
+        payload = load_report_json(out)
+        assert len(payload["rows"]) == 2
+
+    def test_sweep_export_csv(self, tmp_path, capsys):
+        out = tmp_path / "sweep.csv"
+        code = main([
+            "sweep", "--env", "MaestroGym-v0", "--agents", "rw",
+            "--trials", "1", "--samples", "5", "--export", str(out),
+        ])
+        assert code == 0
+        assert out.read_text().startswith("env_id")

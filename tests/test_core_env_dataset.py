@@ -1,0 +1,310 @@
+"""Unit + property tests for the env base class, dataset, and registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataset import ArchGymDataset, Transition
+from repro.core.env import ArchGymEnv
+from repro.core.errors import (
+    DatasetError,
+    EnvironmentError_,
+    InvalidActionError,
+    RegistryError,
+)
+from repro.core.registry import EnvRegistry
+from repro.core.rewards import TargetReward
+from repro.core.spaces import Categorical, CompositeSpace, Discrete
+
+
+class QuadraticEnv(ArchGymEnv):
+    """Toy env: latency = (x - 5)^2 + 1, power = x / 10 + mode bonus."""
+
+    env_id = "Quadratic-v0"
+
+    def __init__(self, episode_length=4, terminate_on_target=False):
+        space = CompositeSpace(
+            [
+                Discrete("x", low=0, high=10, step=1),
+                Categorical("mode", ("fast", "slow")),
+            ]
+        )
+        super().__init__(
+            action_space=space,
+            observation_metrics=["latency", "power"],
+            reward_spec=TargetReward("latency", target=1.0, tolerance=0.5),
+            episode_length=episode_length,
+            terminate_on_target=terminate_on_target,
+        )
+
+    def evaluate(self, action):
+        x = action["x"]
+        bonus = 0.0 if action["mode"] == "fast" else 0.5
+        return {"latency": (x - 5) ** 2 + 1.0, "power": x / 10 + bonus}
+
+
+def make_transition(i, source="agentA"):
+    return Transition(
+        action={"x": i % 11, "mode": "fast"},
+        metrics={"latency": float(i), "power": i / 10},
+        reward=float(i),
+        source=source,
+        step=i,
+    )
+
+
+class TestArchGymEnv:
+    def test_reset_returns_zero_observation(self):
+        env = QuadraticEnv()
+        obs, info = env.reset(seed=0)
+        assert obs.shape == (2,)
+        assert np.all(obs == 0)
+        assert info["env_id"] == "Quadratic-v0"
+
+    def test_step_before_reset_raises(self):
+        env = QuadraticEnv()
+        with pytest.raises(EnvironmentError_):
+            env.step({"x": 5, "mode": "fast"})
+
+    def test_step_returns_metrics_observation(self):
+        env = QuadraticEnv()
+        env.reset(seed=0)
+        obs, reward, terminated, truncated, info = env.step({"x": 5, "mode": "fast"})
+        assert obs[0] == pytest.approx(1.0)  # latency at optimum
+        assert info["metrics"]["latency"] == pytest.approx(1.0)
+        assert reward > 1.0  # at target -> capped high reward
+
+    def test_invalid_action_raises(self):
+        env = QuadraticEnv()
+        env.reset(seed=0)
+        with pytest.raises(InvalidActionError):
+            env.step({"x": 99, "mode": "fast"})
+
+    def test_truncation_at_episode_length(self):
+        env = QuadraticEnv(episode_length=2)
+        env.reset(seed=0)
+        a = {"x": 0, "mode": "fast"}
+        __, __, __, truncated, __ = env.step(a)
+        assert not truncated
+        __, __, __, truncated, __ = env.step(a)
+        assert truncated
+        with pytest.raises(EnvironmentError_):
+            env.step(a)
+
+    def test_terminate_on_target(self):
+        env = QuadraticEnv(episode_length=100, terminate_on_target=True)
+        env.reset(seed=0)
+        __, __, terminated, __, info = env.step({"x": 5, "mode": "fast"})
+        assert terminated
+        assert info["target_met"]
+
+    def test_stats_accumulate(self):
+        env = QuadraticEnv(episode_length=3)
+        env.reset(seed=0)
+        for _ in range(3):
+            env.step({"x": 1, "mode": "slow"})
+        env.reset()
+        assert env.stats.total_steps == 3
+        assert env.stats.total_episodes == 2
+        assert env.stats.total_sim_time >= 0.0
+
+    def test_dataset_logging(self):
+        env = QuadraticEnv(episode_length=5)
+        ds = ArchGymDataset()
+        env.attach_dataset(ds, source="tester")
+        env.reset(seed=0)
+        env.step({"x": 3, "mode": "fast"})
+        env.step({"x": 4, "mode": "slow"})
+        assert len(ds) == 2
+        assert ds[0].source == "tester"
+        assert ds[0].action == {"x": 3, "mode": "fast"}
+        assert ds.env_id == "Quadratic-v0"
+
+    def test_dataset_env_mismatch(self):
+        env = QuadraticEnv()
+        ds = ArchGymDataset(env_id="Other-v0")
+        with pytest.raises(EnvironmentError_):
+            env.attach_dataset(ds)
+
+    def test_random_action_valid(self):
+        env = QuadraticEnv()
+        env.reset(seed=7)
+        for _ in range(20):
+            assert env.action_space.contains(env.random_action())
+
+    def test_reset_seed_reproducible(self):
+        env1, env2 = QuadraticEnv(), QuadraticEnv()
+        env1.reset(seed=42)
+        env2.reset(seed=42)
+        assert env1.random_action() == env2.random_action()
+
+
+class TestDataset:
+    def test_append_iter_len(self):
+        ds = ArchGymDataset("E-v0")
+        for i in range(5):
+            ds.append(make_transition(i))
+        assert len(ds) == 5
+        assert [t.step for t in ds] == [0, 1, 2, 3, 4]
+
+    def test_sources_and_counts(self):
+        ds = ArchGymDataset("E-v0")
+        ds.extend([make_transition(i, "A") for i in range(3)])
+        ds.extend([make_transition(i, "B") for i in range(2)])
+        assert ds.sources == ["A", "B"]
+        assert ds.source_counts() == {"A": 3, "B": 2}
+
+    def test_filter_source(self):
+        ds = ArchGymDataset("E-v0")
+        ds.extend([make_transition(i, "A") for i in range(3)])
+        ds.extend([make_transition(i, "B") for i in range(2)])
+        assert len(ds.filter_source("A")) == 3
+        assert ds.filter_source("C").sources == []
+
+    def test_merge_same_env(self):
+        a = ArchGymDataset("E-v0", [make_transition(0, "A")])
+        b = ArchGymDataset("E-v0", [make_transition(1, "B")])
+        merged = a.merge(b)
+        assert len(merged) == 2
+        assert merged.sources == ["A", "B"]
+
+    def test_merge_env_mismatch(self):
+        a = ArchGymDataset("E-v0")
+        b = ArchGymDataset("F-v0")
+        with pytest.raises(DatasetError):
+            a.merge(b)
+
+    def test_merge_all_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            ArchGymDataset.merge_all([])
+
+    def test_sample_without_replacement_bounds(self):
+        ds = ArchGymDataset("E-v0", [make_transition(i) for i in range(4)])
+        rng = np.random.default_rng(0)
+        with pytest.raises(DatasetError):
+            ds.sample(5, rng)
+        assert len(ds.sample(4, rng)) == 4
+
+    def test_sample_balanced_even_split(self):
+        ds = ArchGymDataset("E-v0")
+        ds.extend([make_transition(i, "A") for i in range(50)])
+        ds.extend([make_transition(i, "B") for i in range(50)])
+        rng = np.random.default_rng(1)
+        sampled = ds.sample_balanced(20, rng)
+        counts = sampled.source_counts()
+        assert counts["A"] == 10 and counts["B"] == 10
+
+    def test_sample_balanced_tops_up_short_source(self):
+        ds = ArchGymDataset("E-v0")
+        ds.extend([make_transition(i, "A") for i in range(100)])
+        ds.extend([make_transition(i, "B") for i in range(2)])
+        rng = np.random.default_rng(2)
+        sampled = ds.sample_balanced(30, rng)
+        assert len(sampled) == 30
+
+    def test_best(self):
+        ds = ArchGymDataset("E-v0", [make_transition(i) for i in range(5)])
+        assert ds.best(higher_is_better=True).reward == 4.0
+        assert ds.best(higher_is_better=False).reward == 0.0
+
+    def test_best_empty_raises(self):
+        with pytest.raises(DatasetError):
+            ArchGymDataset().best()
+
+    def test_to_matrices(self):
+        space = CompositeSpace(
+            [Discrete("x", 0, 10, 1), Categorical("mode", ("fast", "slow"))]
+        )
+        ds = ArchGymDataset("E-v0", [make_transition(i) for i in range(6)])
+        X, Y = ds.to_matrices(space, targets=["latency", "power"])
+        assert X.shape == (6, 2)
+        assert Y.shape == (6, 2)
+        assert np.all((X >= 0) & (X <= 1))
+        assert Y[3, 0] == 3.0
+
+    def test_to_matrices_missing_metric(self):
+        space = CompositeSpace([Discrete("x", 0, 10, 1), Categorical("mode", ("fast", "slow"))])
+        ds = ArchGymDataset("E-v0", [make_transition(0)])
+        with pytest.raises(DatasetError):
+            ds.to_matrices(space, targets=["nonexistent"])
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        ds = ArchGymDataset("E-v0", [make_transition(i, "A") for i in range(7)])
+        path = tmp_path / "data.jsonl"
+        ds.save_jsonl(path)
+        loaded = ArchGymDataset.load_jsonl(path)
+        assert loaded.env_id == "E-v0"
+        assert len(loaded) == 7
+        assert loaded[3].action == ds[3].action
+        assert loaded[3].reward == ds[3].reward
+
+    def test_jsonl_bad_format(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "nope"}\n')
+        with pytest.raises(DatasetError):
+            ArchGymDataset.load_jsonl(path)
+
+    def test_npz_export(self, tmp_path):
+        space = CompositeSpace([Discrete("x", 0, 10, 1), Categorical("mode", ("fast", "slow"))])
+        ds = ArchGymDataset("E-v0", [make_transition(i) for i in range(5)])
+        path = tmp_path / "data.npz"
+        ds.save_npz(path, space, targets=["latency"])
+        loaded = np.load(path, allow_pickle=False)
+        assert loaded["X"].shape == (5, 2)
+        assert loaded["Y"].shape == (5, 1)
+
+
+class TestRegistry:
+    def test_register_and_make(self):
+        reg = EnvRegistry()
+        reg.register("Quad-v0", QuadraticEnv)
+        env = reg.make("Quad-v0", episode_length=2)
+        assert isinstance(env, QuadraticEnv)
+        assert env.episode_length == 2
+
+    def test_unknown_id(self):
+        reg = EnvRegistry()
+        with pytest.raises(RegistryError, match="unknown"):
+            reg.make("Nope-v0")
+
+    def test_double_register_rejected(self):
+        reg = EnvRegistry()
+        reg.register("Quad-v0", QuadraticEnv)
+        with pytest.raises(RegistryError):
+            reg.register("Quad-v0", QuadraticEnv)
+        reg.register("Quad-v0", QuadraticEnv, overwrite=True)
+
+    def test_bad_factory_return(self):
+        reg = EnvRegistry()
+        reg.register("Bad-v0", lambda: object())
+        with pytest.raises(RegistryError):
+            reg.make("Bad-v0")
+
+    def test_contains_and_ids(self):
+        reg = EnvRegistry()
+        reg.register("A-v0", QuadraticEnv)
+        assert "A-v0" in reg
+        assert reg.ids() == ["A-v0"]
+
+
+# -- property tests ----------------------------------------------------------------
+
+@given(st.lists(st.integers(0, 100), min_size=1, max_size=40))
+@settings(max_examples=100)
+def test_prop_merge_preserves_length(steps):
+    half = len(steps) // 2
+    a = ArchGymDataset("E-v0", [make_transition(i, "A") for i in steps[:half]])
+    b = ArchGymDataset("E-v0", [make_transition(i, "B") for i in steps[half:]])
+    assert len(a.merge(b)) == len(steps)
+
+
+@given(st.integers(1, 30), st.integers(0, 2**31 - 1))
+@settings(max_examples=100)
+def test_prop_sample_size_and_membership(n, seed):
+    ds = ArchGymDataset("E-v0", [make_transition(i) for i in range(30)])
+    rng = np.random.default_rng(seed)
+    sampled = ds.sample(n, rng)
+    assert len(sampled) == n
+    steps = {t.step for t in ds}
+    assert all(t.step in steps for t in sampled)

@@ -1,0 +1,154 @@
+"""Unit tests for repro.core.rewards (Table 3 formulations)."""
+
+import pytest
+
+from repro.core.errors import ArchGymError
+from repro.core.rewards import (
+    REWARD_CAP,
+    BudgetDistanceReward,
+    InverseReward,
+    JointTargetReward,
+    TargetReward,
+)
+
+
+class TestTargetReward:
+    def test_formula(self):
+        r = TargetReward("power", target=1.0)
+        # r = target / |target - obs| = 1 / |1 - 3| = 0.5
+        assert r.compute({"power": 3.0}) == pytest.approx(0.5)
+
+    def test_closer_is_better(self):
+        r = TargetReward("latency", target=10.0)
+        assert r.compute({"latency": 11.0}) > r.compute({"latency": 15.0})
+
+    def test_symmetric_around_target(self):
+        r = TargetReward("latency", target=10.0)
+        assert r.compute({"latency": 8.0}) == pytest.approx(r.compute({"latency": 12.0}))
+
+    def test_exact_hit_is_capped(self):
+        r = TargetReward("power", target=2.0)
+        assert r.compute({"power": 2.0}) == REWARD_CAP
+
+    def test_meets_target_tolerance(self):
+        r = TargetReward("power", target=1.0, tolerance=0.05)
+        assert r.meets_target({"power": 1.04})
+        assert not r.meets_target({"power": 1.2})
+
+    def test_missing_metric_raises(self):
+        r = TargetReward("power", target=1.0)
+        with pytest.raises(ArchGymError, match="power"):
+            r.compute({"latency": 1.0})
+
+    def test_nonpositive_target_rejected(self):
+        with pytest.raises(ArchGymError):
+            TargetReward("power", target=0.0)
+
+    def test_higher_is_better_flag(self):
+        assert TargetReward("power", 1.0).higher_is_better
+
+
+class TestJointTargetReward:
+    def test_needs_components(self):
+        with pytest.raises(ArchGymError):
+            JointTargetReward(components=())
+
+    def test_harmonic_combination(self):
+        joint = JointTargetReward(
+            components=(
+                TargetReward("latency", target=10.0),
+                TargetReward("power", target=1.0),
+            )
+        )
+        # both off by 100% of target -> each reward 1.0 -> harmonic mean 1.0
+        value = joint.compute({"latency": 20.0, "power": 2.0})
+        assert value == pytest.approx(1.0)
+
+    def test_cannot_game_one_objective(self):
+        joint = JointTargetReward(
+            components=(
+                TargetReward("latency", target=10.0),
+                TargetReward("power", target=1.0),
+            )
+        )
+        balanced = joint.compute({"latency": 12.0, "power": 1.2})
+        lopsided = joint.compute({"latency": 10.0001, "power": 100.0})
+        assert balanced > lopsided
+
+    def test_meets_target_requires_all(self):
+        joint = JointTargetReward(
+            components=(
+                TargetReward("latency", target=10.0, tolerance=0.1),
+                TargetReward("power", target=1.0, tolerance=0.1),
+            )
+        )
+        assert joint.meets_target({"latency": 10.0, "power": 1.0})
+        assert not joint.meets_target({"latency": 10.0, "power": 5.0})
+
+    def test_weight_mismatch_rejected(self):
+        with pytest.raises(ArchGymError):
+            JointTargetReward(
+                components=(TargetReward("a", 1.0),), weights=(1.0, 2.0)
+            )
+
+
+class TestBudgetDistanceReward:
+    def test_within_budget_distance_zero(self):
+        r = BudgetDistanceReward(budgets={"power": 1.0, "area": 10.0})
+        assert r.compute({"power": 0.5, "area": 9.0}) == 0.0
+
+    def test_excess_accumulates(self):
+        r = BudgetDistanceReward(budgets={"power": 1.0, "area": 10.0})
+        # power 100% over, area 50% over -> 1.0 + 0.5
+        assert r.compute({"power": 2.0, "area": 15.0}) == pytest.approx(1.5)
+
+    def test_alpha_weighting(self):
+        r = BudgetDistanceReward(
+            budgets={"power": 1.0}, alphas={"power": 3.0}
+        )
+        assert r.compute({"power": 2.0}) == pytest.approx(3.0)
+
+    def test_signed_mode(self):
+        r = BudgetDistanceReward(
+            budgets={"power": 1.0}, penalize_only_excess=False
+        )
+        assert r.compute({"power": 0.5}) == pytest.approx(-0.5)
+
+    def test_lower_is_better_flag(self):
+        assert not BudgetDistanceReward(budgets={"p": 1.0}).higher_is_better
+
+    def test_meets_target(self):
+        r = BudgetDistanceReward(budgets={"power": 1.0, "area": 10.0})
+        assert r.meets_target({"power": 1.0, "area": 10.0})
+        assert not r.meets_target({"power": 1.1, "area": 5.0})
+
+    def test_empty_budgets_rejected(self):
+        with pytest.raises(ArchGymError):
+            BudgetDistanceReward(budgets={})
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ArchGymError):
+            BudgetDistanceReward(budgets={"p": -1.0})
+
+
+class TestInverseReward:
+    def test_formula(self):
+        r = InverseReward("runtime")
+        assert r.compute({"runtime": 4.0}) == pytest.approx(0.25)
+
+    def test_lower_metric_is_higher_reward(self):
+        r = InverseReward("runtime")
+        assert r.compute({"runtime": 1.0}) > r.compute({"runtime": 2.0})
+
+    def test_zero_metric_capped(self):
+        r = InverseReward("runtime")
+        assert r.compute({"runtime": 0.0}) == REWARD_CAP
+
+    def test_meets_target(self):
+        r = InverseReward("runtime", target=5.0)
+        assert r.meets_target({"runtime": 4.0})
+        assert not r.meets_target({"runtime": 6.0})
+
+    def test_no_target_never_met(self):
+        r = InverseReward("runtime")
+        assert not r.meets_target({"runtime": 0.001})

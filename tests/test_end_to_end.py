@@ -1,0 +1,123 @@
+"""End-to-end pipeline tests: the paper's full workflow in miniature.
+
+sweep (multi-agent, multi-ticket) -> standardized dataset -> proxy cost
+model -> simulator-free search -> validation on the simulator. This is
+the composition Figs. 1 and 9 describe; each stage is unit-tested
+elsewhere, these tests verify the handoffs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.agents import OfflineAgent, make_agent, run_agent
+from repro.core.analysis import diversity_report
+from repro.envs.dram import DRAMGymEnv
+from repro.envs.maestro_env import MaestroGymEnv
+from repro.proxy import ProxyCostModel, ProxyEnv
+from repro.sweeps import run_lottery_sweep
+
+
+class TestFullPipelineDRAM:
+    @pytest.fixture(scope="class")
+    def sweep_report(self):
+        return run_lottery_sweep(
+            lambda: DRAMGymEnv(workload="cloud-1", objective="power",
+                               n_requests=150, cache_size=0),
+            agents=("rw", "ga", "aco"),
+            n_trials=2, n_samples=80, seed=3, collect_dataset=True,
+        )
+
+    def test_sweep_produces_tagged_dataset(self, sweep_report):
+        ds = sweep_report.dataset
+        assert ds is not None
+        assert len(ds) == 3 * 2 * 80
+        assert len(ds.sources) == 6  # one tag per (agent, ticket)
+
+    def test_dataset_diversity_is_nontrivial(self, sweep_report):
+        env = DRAMGymEnv(workload="cloud-1", n_requests=10)
+        report = diversity_report(sweep_report.dataset, env.action_space)
+        assert report["mean_coverage"] > 0.5
+        assert report["action_entropy"] > 0.3
+
+    def test_proxy_trains_from_sweep_dataset(self, sweep_report):
+        env = DRAMGymEnv(workload="cloud-1", n_requests=150)
+        proxy = ProxyCostModel(
+            env.action_space, targets=["latency", "power", "energy"]
+        ).fit(sweep_report.dataset, seed=0, n_estimators=10)
+        assert proxy.test_rmse_relative["power"] < 0.25
+
+    def test_proxy_search_validates_on_simulator(self, sweep_report):
+        env = DRAMGymEnv(workload="cloud-1", objective="power",
+                         n_requests=150, cache_size=0)
+        proxy = ProxyCostModel(
+            env.action_space, targets=["latency", "power", "energy"]
+        ).fit(sweep_report.dataset, seed=0, n_estimators=10)
+        proxy_env = ProxyEnv.from_env(env, proxy)
+        agent = make_agent("ga", proxy_env.action_space, seed=5)
+        result = run_agent(agent, proxy_env, n_samples=300, seed=5)
+        # zero simulator queries during the search
+        assert env.stats.total_steps == 0
+        # the found design's predicted power is close to simulated power
+        true_power = env.evaluate(result.best_action)["power"]
+        assert result.best_metrics["power"] == pytest.approx(
+            true_power, rel=0.15
+        )
+
+    def test_offline_agent_consumes_sweep_dataset(self, sweep_report):
+        env = DRAMGymEnv(workload="cloud-1", objective="power",
+                         n_requests=150)
+        agent = OfflineAgent(env.action_space, seed=6,
+                             dataset=sweep_report.dataset, exploration=0.1)
+        result = run_agent(agent, env, n_samples=15, seed=6)
+        # with 480 warm-start points, 15 live queries already land close
+        # to the 0.9x-reference power target
+        gap = abs(result.best_metrics["power"] - env.power_target_w)
+        assert gap / env.power_target_w < 0.2
+
+
+class TestFullPipelineMaestro:
+    def test_sweep_to_proxy_on_mapping_space(self):
+        report = run_lottery_sweep(
+            lambda: MaestroGymEnv(workload="resnet18", cache_size=0),
+            agents=("rw", "ga"),
+            n_trials=2, n_samples=60, seed=7, collect_dataset=True,
+        )
+        env = MaestroGymEnv(workload="resnet18")
+        proxy = ProxyCostModel(env.action_space, targets=["runtime"]).fit(
+            report.dataset, seed=0, n_estimators=10
+        )
+        # runtime spans 9 orders of magnitude (infeasible penalty); the
+        # proxy must at least rank feasible vs infeasible correctly
+        rng = np.random.default_rng(0)
+        feasible_actions = [
+            t.action for t in report.dataset
+            if t.metrics["runtime"] < 1e8
+        ]
+        infeasible_actions = [
+            t.action for t in report.dataset
+            if t.metrics["runtime"] >= 1e8
+        ]
+        if feasible_actions and infeasible_actions:
+            pred_f = np.mean([
+                proxy.predict_metrics(a)["runtime"] for a in feasible_actions[:20]
+            ])
+            pred_i = np.mean([
+                proxy.predict_metrics(a)["runtime"] for a in infeasible_actions[:20]
+            ])
+            assert pred_f < pred_i
+
+    def test_cross_env_datasets_do_not_mix(self):
+        dram_report = run_lottery_sweep(
+            lambda: DRAMGymEnv(workload="stream", n_requests=60),
+            agents=("rw",), n_trials=1, n_samples=10, seed=0,
+            collect_dataset=True,
+        )
+        maestro_report = run_lottery_sweep(
+            lambda: MaestroGymEnv(workload="resnet18"),
+            agents=("rw",), n_trials=1, n_samples=10, seed=0,
+            collect_dataset=True,
+        )
+        from repro.core.errors import DatasetError
+
+        with pytest.raises(DatasetError):
+            dram_report.dataset.merge(maestro_report.dataset)

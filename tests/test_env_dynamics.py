@@ -1,0 +1,96 @@
+"""Episode dynamics on the real environments.
+
+Exercises multi-step episodes, early termination on target, observation
+consistency with the info dict, and derived-target behavior — the env
+mechanics the agents' driver loop relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.envs.dram import DRAMGymEnv
+from repro.envs.farsi_env import FARSIGymEnv
+from repro.envs.timeloop_env import TimeloopGymEnv
+
+
+class TestEpisodes:
+    def test_multi_step_episode_truncates(self):
+        env = DRAMGymEnv(workload="stream", n_requests=60, episode_length=3)
+        env.reset(seed=0)
+        rng = np.random.default_rng(0)
+        flags = []
+        for __ in range(3):
+            *__rest, truncated, __info = env.step(env.action_space.sample(rng))
+            flags.append(truncated)
+        assert flags == [False, False, True]
+
+    def test_terminate_on_target_real_env(self):
+        env = DRAMGymEnv(
+            workload="pointer_chase", objective="power", power_target_w=1.0,
+            n_requests=300, episode_length=1000, terminate_on_target=True,
+        )
+        env.reset(seed=0)
+        rng = np.random.default_rng(3)
+        terminated = False
+        for __ in range(200):
+            __, __, terminated, truncated, info = env.step(
+                env.action_space.sample(rng)
+            )
+            if terminated:
+                assert info["target_met"]
+                assert abs(info["metrics"]["power"] - 1.0) <= 0.02
+                break
+            if truncated:
+                break
+        assert terminated, "random search should hit the 1W +/- 2% band"
+
+    def test_observation_matches_info_metrics(self):
+        env = TimeloopGymEnv(workload="alexnet")
+        env.reset(seed=0)
+        rng = np.random.default_rng(1)
+        for __ in range(5):
+            obs, __, __, __, info = env.step(env.action_space.sample(rng))
+            expected = [info["metrics"][m] for m in env.observation_metrics]
+            assert np.allclose(obs, expected)
+            env.reset()
+
+    def test_episode_counts_in_stats(self):
+        env = FARSIGymEnv(workload="audio_decoder", episode_length=2)
+        rng = np.random.default_rng(2)
+        for __ in range(3):
+            env.reset(seed=None)
+            env.step(env.action_space.sample(rng))
+            env.step(env.action_space.sample(rng))
+        assert env.stats.total_episodes == 3
+        assert env.stats.total_steps == 6
+
+
+class TestDerivedTargets:
+    def test_dram_targets_derived_from_default_config(self):
+        env = DRAMGymEnv(workload="stream", objective="latency", n_requests=200)
+        # derived latency target is 80% of the default controller's latency
+        default_metrics = env.evaluate(
+            __import__("repro.dramsys.config", fromlist=["ControllerConfig"])
+            .ControllerConfig().to_action()
+        )
+        assert env.latency_target_ns == pytest.approx(
+            0.8 * default_metrics["latency"], rel=1e-6
+        )
+
+    def test_dram_targets_differ_across_workloads(self):
+        stream = DRAMGymEnv(workload="stream", n_requests=200)
+        chase = DRAMGymEnv(workload="pointer_chase", n_requests=200)
+        assert stream.latency_target_ns != chase.latency_target_ns
+
+    def test_explicit_targets_respected(self):
+        env = DRAMGymEnv(workload="stream", objective="power",
+                         power_target_w=1.23, n_requests=50)
+        assert env.power_target_w == 1.23
+        assert env.reward_spec.target == 1.23
+
+    def test_timeloop_target_halves_reference(self):
+        env = TimeloopGymEnv(workload="alexnet")
+        from repro.timeloop import EYERISS_LIKE, TimeloopModel
+
+        reference = TimeloopModel().evaluate_network(EYERISS_LIKE, env.layers)
+        assert env.latency_target_ms == pytest.approx(0.5 * reference["latency"])

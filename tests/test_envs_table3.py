@@ -1,0 +1,178 @@
+"""Integration tests: the four environments against their Table 3 contract.
+
+Each environment must expose the right workloads, action parameters,
+observation metrics, and reward orientation, and must run end-to-end
+through the registry with every agent family.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.agents import make_agent, run_agent
+from repro.core.dataset import ArchGymDataset
+from repro.core.errors import EnvironmentError_, SimulationError
+from repro.envs import DRAMGymEnv, FARSIGymEnv, MaestroGymEnv, TimeloopGymEnv
+
+
+class TestRegistry:
+    def test_all_four_registered(self):
+        ids = repro.registered_ids()
+        for env_id in ("DRAMGym-v0", "TimeloopGym-v0", "FARSIGym-v0", "MaestroGym-v0"):
+            assert env_id in ids
+
+    def test_make_with_kwargs(self):
+        env = repro.make("DRAMGym-v0", workload="random", objective="latency",
+                         n_requests=50)
+        assert isinstance(env, DRAMGymEnv)
+        assert env.workload == "random"
+
+
+class TestDRAMGym:
+    def test_table3_contract(self):
+        env = DRAMGymEnv(workload="stream", n_requests=100)
+        assert env.observation_metrics == ["latency", "power", "energy"]
+        names = env.action_space.names
+        for expected in ("PagePolicy", "RequestBufferSize", "RefreshPolicy"):
+            assert expected in names
+
+    def test_objectives(self):
+        for objective in ("power", "latency", "joint"):
+            env = DRAMGymEnv(workload="stream", objective=objective, n_requests=50)
+            env.reset(seed=0)
+            __, reward, *_ = env.step(env.random_action())
+            assert reward > 0
+            assert env.reward_spec.higher_is_better
+
+    def test_unknown_objective(self):
+        with pytest.raises(EnvironmentError_):
+            DRAMGymEnv(objective="area")
+
+    def test_unknown_workload(self):
+        with pytest.raises(SimulationError):
+            DRAMGymEnv(workload="spec2017")
+
+    def test_cache_dedupes_evaluations(self):
+        env = DRAMGymEnv(workload="stream", n_requests=100)
+        env.reset(seed=0)
+        action = env.random_action()
+        env.step(action)
+        env.reset()
+        env.step(action)
+        assert env._cache.hits == 1
+        assert env._cache.misses == 1
+
+    def test_cache_disabled(self):
+        env = DRAMGymEnv(workload="stream", n_requests=50, cache_size=0)
+        env.reset(seed=0)
+        action = env.random_action()
+        env.step(action)
+        env.reset()
+        env.step(action)
+        assert env._cache.hits == 0
+
+    def test_power_reward_prefers_1w(self):
+        env = DRAMGymEnv(workload="pointer_chase", objective="power",
+                         power_target_w=1.0, n_requests=200)
+        r = env.reward_spec
+        assert r.compute({"power": 1.01}) > r.compute({"power": 1.3})
+
+
+class TestTimeloopGym:
+    def test_table3_contract(self):
+        env = TimeloopGymEnv(workload="alexnet")
+        assert env.observation_metrics == ["latency", "energy", "area"]
+        assert "NumPEsX" in env.action_space.names
+
+    def test_targets_derived_from_reference(self):
+        env = TimeloopGymEnv(workload="alexnet")
+        assert env.latency_target_ms > 0
+        assert env.energy_target_mj > 0
+
+    def test_explicit_targets(self):
+        env = TimeloopGymEnv(workload="alexnet", objective="energy",
+                             energy_target_mj=1.0)
+        assert env.energy_target_mj == 1.0
+
+    def test_unknown_objective(self):
+        with pytest.raises(EnvironmentError_):
+            TimeloopGymEnv(objective="power")
+
+    def test_step_returns_area(self):
+        env = TimeloopGymEnv(workload="alexnet")
+        env.reset(seed=0)
+        obs, *_ = env.step(env.random_action())
+        assert obs[2] > 0  # area
+
+
+class TestFARSIGym:
+    def test_table3_contract(self):
+        env = FARSIGymEnv(workload="audio_decoder")
+        assert env.observation_metrics == ["performance", "power", "area"]
+        assert "PE_Slot0" in env.action_space.names
+        assert "NoC_BusWidth" in env.action_space.names
+
+    def test_reward_is_distance_lower_better(self):
+        env = FARSIGymEnv(workload="audio_decoder")
+        assert not env.reward_spec.higher_is_better
+        env.reset(seed=0)
+        __, reward, *_ = env.step(env.random_action())
+        assert reward >= 0.0
+
+    def test_budget_override(self):
+        env = FARSIGymEnv(workload="audio_decoder",
+                          budgets={"power": 1e9, "performance": 1e9, "area": 1e9})
+        env.reset(seed=0)
+        # absurdly generous budgets: any feasible design has distance 0
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            a = env.action_space.sample(rng)
+            __, reward, __, __, info = env.step(a)
+            if info["metrics"]["feasible"]:
+                assert reward == 0.0
+            env.reset()
+
+
+class TestMaestroGym:
+    def test_table3_contract(self):
+        env = MaestroGymEnv(workload="resnet18")
+        assert env.observation_metrics == ["runtime", "throughput", "energy", "area"]
+        assert "LoopOrder" in env.action_space.names
+
+    def test_inverse_reward(self):
+        env = MaestroGymEnv(workload="resnet18")
+        env.reset(seed=0)
+        __, reward, __, __, info = env.step(env.random_action())
+        runtime = info["metrics"]["runtime"]
+        assert reward == pytest.approx(1.0 / runtime)
+
+
+class TestAgentsOnAllEnvs:
+    """Every agent family must run on every environment — the paper's
+    central interface claim (§3.3)."""
+
+    @pytest.mark.parametrize("agent_name", ("rw", "ga", "aco", "bo", "rl"))
+    def test_agents_complete_on_each_env(self, agent_name):
+        factories = [
+            lambda: DRAMGymEnv(workload="stream", n_requests=60),
+            lambda: TimeloopGymEnv(workload="alexnet"),
+            lambda: FARSIGymEnv(workload="audio_decoder"),
+            lambda: MaestroGymEnv(workload="resnet18"),
+        ]
+        for factory in factories:
+            env = factory()
+            agent = make_agent(agent_name, env.action_space, seed=0)
+            n = 20 if agent_name != "bo" else 12
+            result = run_agent(agent, env, n_samples=n, seed=0)
+            assert result.n_samples == n
+            assert np.isfinite(result.best_fitness)
+
+    def test_dataset_collection_across_envs(self):
+        env = MaestroGymEnv(workload="resnet18")
+        ds = ArchGymDataset()
+        env.attach_dataset(ds)
+        for name in ("rw", "ga"):
+            agent = make_agent(name, env.action_space, seed=1)
+            run_agent(agent, env, n_samples=15, seed=1)
+        assert len(ds) == 30
+        assert len(ds.sources) == 2

@@ -1,0 +1,70 @@
+"""Tests for sweep-report export (repro.sweeps.export)."""
+
+import csv
+import json
+
+import pytest
+
+from repro.core.errors import ArchGymError
+from repro.sweeps import SweepReport, run_lottery_sweep
+from repro.sweeps.export import (
+    load_report_json,
+    report_to_rows,
+    save_report_csv,
+    save_report_json,
+)
+from tests.test_sweeps import TinyEnv
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_lottery_sweep(
+        TinyEnv, agents=("rw", "ga"), n_trials=3, n_samples=20, seed=0
+    )
+
+
+class TestRows:
+    def test_one_row_per_trial(self, report):
+        rows = report_to_rows(report)
+        assert len(rows) == 6
+        assert {r["agent"] for r in rows} == {"rw", "ga"}
+
+    def test_row_fields(self, report):
+        row = report_to_rows(report)[0]
+        for key in ("env_id", "best_fitness", "hyperparameters", "best_action"):
+            assert key in row
+        assert row["env_id"] == "Tiny-v0"
+
+    def test_empty_report_rejected(self):
+        with pytest.raises(ArchGymError):
+            report_to_rows(SweepReport(env_id="X", n_samples=1))
+
+
+class TestJson:
+    def test_roundtrip(self, report, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_report_json(report, path)
+        payload = load_report_json(path)
+        assert payload["env_id"] == "Tiny-v0"
+        assert len(payload["rows"]) == 6
+        assert payload["rows"][0]["n_samples"] == 20
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "other"}))
+        with pytest.raises(ArchGymError):
+            load_report_json(path)
+
+
+class TestCsv:
+    def test_csv_structure(self, report, tmp_path):
+        path = tmp_path / "sweep.csv"
+        save_report_csv(report, path)
+        with path.open() as f:
+            rows = list(csv.DictReader(f))
+        assert len(rows) == 6
+        # nested fields decode back to dicts
+        hp = json.loads(rows[0]["hyperparameters"])
+        assert isinstance(hp, dict)
+        action = json.loads(rows[0]["best_action"])
+        assert "x" in action

@@ -1,0 +1,199 @@
+"""Unit + property tests for the MAESTRO mapping substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import SimulationError
+from repro.dnn import ConvLayer, get_workload
+from repro.maestro import (
+    LOOP_ORDERS,
+    MAESTRO_INFEASIBLE,
+    MaestroAccelerator,
+    MaestroModel,
+    Mapping,
+    mapping_space,
+)
+
+
+SMALL_LAYER = ConvLayer("small", K=32, C=16, R=3, S=3, P=16, Q=16)
+
+
+class TestMapping:
+    def test_default_valid(self):
+        Mapping()
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            Mapping(parallel_dim="Z")
+        with pytest.raises(SimulationError):
+            Mapping(order="KKKK")
+        with pytest.raises(SimulationError):
+            Mapping(cluster=0)
+        with pytest.raises(SimulationError):
+            Mapping(tile_k1=0)
+
+    def test_all_24_orders(self):
+        assert len(LOOP_ORDERS) == 24
+        assert len(set(LOOP_ORDERS)) == 24
+        for order in LOOP_ORDERS:
+            assert sorted(order) == ["C", "K", "P", "Q"]
+
+    def test_action_roundtrip(self):
+        m = Mapping(parallel_dim="C", cluster=8, order="PQKC", tile_k2=128)
+        assert Mapping.from_action(m.to_action()) == m
+
+    def test_space_samples_valid(self):
+        space = mapping_space()
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            Mapping.from_action(space.sample(rng))
+
+    def test_tile_accessors(self):
+        m = Mapping(tile_k1=2, tile_c1=4, tile_p1=8, tile_q1=16)
+        assert [m.l1_tile(d) for d in "KCPQ"] == [2, 4, 8, 16]
+
+
+class TestModel:
+    model = MaestroModel()
+
+    def test_default_mapping_feasible_on_resnet18(self):
+        m = self.model.evaluate_network(Mapping(), get_workload("resnet18"))
+        assert m["feasible"] == 1.0
+        assert 0 < m["runtime"] < MAESTRO_INFEASIBLE
+
+    def test_deterministic(self):
+        layers = get_workload("resnet18")
+        a = self.model.evaluate_network(Mapping(), layers)
+        b = self.model.evaluate_network(Mapping(), layers)
+        assert a == b
+
+    def test_metrics_keys(self):
+        m = self.model.evaluate_network(Mapping(), get_workload("resnet18"))
+        assert set(m) == {"runtime", "throughput", "energy", "area", "feasible"}
+
+    def test_oversized_l1_tiles_infeasible(self):
+        huge = Mapping(tile_k1=64, tile_c1=64, tile_p1=16, tile_q1=16)
+        cost = self.model.evaluate_layer(huge, SMALL_LAYER)
+        assert not cost.feasible
+        assert cost.runtime_ms >= MAESTRO_INFEASIBLE
+
+    def test_tiles_clipped_to_layer(self):
+        # L2 tiles larger than the layer clip cleanly instead of overflowing
+        m = Mapping(tile_k2=512, tile_c2=512, tile_p2=64, tile_q2=64)
+        cost = self.model.evaluate_layer(m, SMALL_LAYER)
+        assert cost.feasible
+
+    def test_more_parallelism_not_slower_compute(self):
+        layer = ConvLayer("big", K=256, C=128, R=3, S=3, P=28, Q=28)
+        narrow = Mapping(cluster=1, tile_k1=1, tile_k2=64)
+        wide = Mapping(cluster=64, tile_k1=1, tile_k2=64)
+        c_narrow = self.model.evaluate_layer(narrow, layer)
+        c_wide = self.model.evaluate_layer(wide, layer)
+        assert c_wide.pes_used >= c_narrow.pes_used
+
+    def test_throughput_consistent_with_runtime(self):
+        layers = get_workload("resnet18")
+        m = self.model.evaluate_network(Mapping(), layers)
+        total_macs = sum(l.macs * l.repeat for l in layers)
+        assert m["throughput"] == pytest.approx(
+            total_macs / (m["runtime"] * 1e6), rel=1e-9
+        )
+
+    def test_refetch_multiplier_innermost_reuse(self):
+        # weights indexed by (K, C); with order KCPQ the P, Q loops are
+        # *inside* both -> perfect weight reuse, multiplier 1
+        trips = {"K": 4.0, "C": 3.0, "P": 5.0, "Q": 7.0}
+        mult = MaestroModel._refetch_multiplier("KCPQ", "W", trips)
+        assert mult == 1.0
+
+    def test_refetch_multiplier_outer_invalidation(self):
+        # with order PQKC, the P and Q loops are outside C (weights'
+        # innermost index) -> weights refetched P*Q times
+        trips = {"K": 4.0, "C": 3.0, "P": 5.0, "Q": 7.0}
+        mult = MaestroModel._refetch_multiplier("PQKC", "W", trips)
+        assert mult == 35.0
+
+    def test_order_changes_traffic(self):
+        layer = ConvLayer("l", K=128, C=64, R=3, S=3, P=28, Q=28)
+        good = self.model.evaluate_layer(Mapping(order="PQKC", tile_p2=4, tile_q2=4), layer)
+        base = self.model.evaluate_layer(Mapping(order="KCPQ", tile_p2=4, tile_q2=4), layer)
+        assert good.dram_words != base.dram_words
+
+    def test_accelerator_validation(self):
+        with pytest.raises(SimulationError):
+            MaestroAccelerator(num_pes=0)
+
+    def test_edge_preset_is_smaller_and_slower(self):
+        from repro.maestro import CLOUD_ACCELERATOR, EDGE_ACCELERATOR
+
+        assert EDGE_ACCELERATOR.num_pes < CLOUD_ACCELERATOR.num_pes
+        assert EDGE_ACCELERATOR.l2_words < CLOUD_ACCELERATOR.l2_words
+        edge_model = MaestroModel(EDGE_ACCELERATOR)
+        cloud_model = MaestroModel(CLOUD_ACCELERATOR)
+        layers = get_workload("resnet18")
+        edge = edge_model.evaluate_network(Mapping(), layers)
+        cloud = cloud_model.evaluate_network(Mapping(), layers)
+        if edge["feasible"] and cloud["feasible"]:
+            assert edge["runtime"] >= cloud["runtime"]
+
+    def test_mapping_portability_cloud_to_edge(self):
+        """Some mappings feasible on the cloud target overflow the edge
+        target — the portability hazard the edge preset exists to study."""
+        from repro.maestro import EDGE_ACCELERATOR
+
+        big_l1 = Mapping(tile_k1=8, tile_c1=4, tile_p1=2, tile_q1=2)
+        layer = ConvLayer("l", K=64, C=64, R=3, S=3, P=28, Q=28)
+        cloud_cost = MaestroModel().evaluate_layer(big_l1, layer)
+        edge_cost = MaestroModel(EDGE_ACCELERATOR).evaluate_layer(big_l1, layer)
+        assert cloud_cost.feasible
+        assert not edge_cost.feasible
+
+
+# -- property tests ---------------------------------------------------------------
+
+mapping_actions = st.builds(
+    dict,
+    ParallelDim=st.sampled_from(("K", "C", "P", "Q")),
+    ClusterSize=st.sampled_from((1, 2, 4, 8, 16, 32, 64)),
+    LoopOrder=st.sampled_from(LOOP_ORDERS),
+    TileK_L1=st.sampled_from((1, 2, 4, 8, 16, 32, 64)),
+    TileC_L1=st.sampled_from((1, 2, 4, 8, 16, 32, 64)),
+    TileP_L1=st.sampled_from((1, 2, 4, 8, 16)),
+    TileQ_L1=st.sampled_from((1, 2, 4, 8, 16)),
+    TileK_L2=st.sampled_from((1, 4, 16, 64, 256, 512)),
+    TileC_L2=st.sampled_from((1, 4, 16, 64, 256, 512)),
+    TileP_L2=st.sampled_from((1, 2, 4, 8, 16, 32, 64)),
+    TileQ_L2=st.sampled_from((1, 2, 4, 8, 16, 32, 64)),
+)
+
+
+@given(mapping_actions)
+@settings(max_examples=80, deadline=None)
+def test_prop_model_invariants(action):
+    """Feasible mappings give positive finite costs; PEs never exceed the
+    array; DRAM traffic is at least the compulsory tensor volume."""
+    mapping = Mapping.from_action(action)
+    model = MaestroModel()
+    cost = model.evaluate_layer(mapping, SMALL_LAYER)
+    if cost.feasible:
+        assert 0 < cost.runtime_ms < MAESTRO_INFEASIBLE
+        assert 0 < cost.energy_mj < MAESTRO_INFEASIBLE
+        assert 1 <= cost.pes_used <= model.acc.num_pes
+        compulsory = (
+            SMALL_LAYER.weight_words + SMALL_LAYER.input_words + SMALL_LAYER.output_words
+        )
+        assert cost.dram_words >= compulsory * 0.99
+
+
+@given(mapping_actions)
+@settings(max_examples=40, deadline=None)
+def test_prop_network_cost_sums_layers(action):
+    mapping = Mapping.from_action(action)
+    model = MaestroModel()
+    layers = get_workload("resnet18")
+    net = model.evaluate_network(mapping, layers)
+    per_layer = [model.evaluate_layer(mapping, l) for l in layers]
+    expected = sum(c.runtime_ms * l.repeat for c, l in zip(per_layer, layers))
+    assert net["runtime"] == pytest.approx(expected, rel=1e-9)

@@ -1,0 +1,80 @@
+"""Tests for the terminal box-plot renderer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ArchGymError
+from repro.sweeps.plots import render_boxplot, render_boxplots
+
+
+class TestRenderBoxplot:
+    def test_width_respected(self):
+        plot = render_boxplot([1, 2, 3, 4, 5], lo=0, hi=6, width=40)
+        assert len(plot) == 40
+
+    def test_contains_box_and_whiskers(self):
+        plot = render_boxplot([1, 2, 3, 4, 5], lo=0, hi=6, width=40)
+        assert "[" in plot and "]" in plot
+        assert "#" in plot or "*" in plot
+
+    def test_best_marker_at_max(self):
+        plot = render_boxplot([1.0, 5.0], lo=0, hi=10, width=21)
+        # max = 5 on [0, 10] -> the star sits at the middle column
+        assert plot[10] == "*"
+
+    def test_degenerate_distribution(self):
+        plot = render_boxplot([3.0, 3.0, 3.0], lo=0, hi=6, width=30)
+        assert "*" in plot
+
+    def test_bad_axis(self):
+        with pytest.raises(ArchGymError):
+            render_boxplot([1.0], lo=5, hi=5)
+
+    def test_bad_width(self):
+        with pytest.raises(ArchGymError):
+            render_boxplot([1.0], lo=0, hi=1, width=3)
+
+
+class TestRenderBoxplots:
+    def test_multi_agent_layout(self):
+        out = render_boxplots({"aco": [1, 2, 3], "ga": [2, 3, 4]}, width=30)
+        lines = out.splitlines()
+        assert len(lines) == 3  # two plots + axis
+        assert lines[0].startswith("aco")
+        assert lines[1].startswith("ga")
+
+    def test_shared_axis_bounds_on_axis_line(self):
+        out = render_boxplots({"a": [10.0, 20.0], "b": [15.0, 30.0]})
+        assert "10" in out.splitlines()[-1]
+        assert "30" in out.splitlines()[-1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ArchGymError):
+            render_boxplots({})
+
+    def test_constant_values_ok(self):
+        out = render_boxplots({"a": [5.0, 5.0]})
+        assert "a" in out
+
+    def test_sweep_report_integration(self):
+        from repro.sweeps import run_lottery_sweep
+        from tests.test_sweeps import TinyEnv
+
+        report = run_lottery_sweep(TinyEnv, agents=("rw", "ga"), n_trials=3,
+                                   n_samples=15, seed=0)
+        table = report.print_table(boxplots=True)
+        # the star (best) always renders; the box may be hidden beneath it
+        assert "*" in table
+        assert "[" in table
+
+
+@given(
+    st.lists(st.floats(-100, 100), min_size=1, max_size=30),
+    st.integers(10, 80),
+)
+@settings(max_examples=100)
+def test_prop_boxplot_never_crashes_and_fits_width(values, width):
+    lo, hi = min(values) - 1.0, max(values) + 1.0
+    plot = render_boxplot(values, lo=lo, hi=hi, width=width)
+    assert len(plot) == width

@@ -1,0 +1,173 @@
+"""Unit + integration tests for the sweep harness and statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.env import ArchGymEnv
+from repro.core.errors import ArchGymError
+from repro.core.rewards import TargetReward
+from repro.core.spaces import Categorical, CompositeSpace, Discrete
+from repro.sweeps import (
+    FiveNumberSummary,
+    SweepReport,
+    iqr,
+    normalize_scores,
+    run_lottery_sweep,
+    spread_percent,
+)
+
+
+class TinyEnv(ArchGymEnv):
+    env_id = "Tiny-v0"
+
+    def __init__(self):
+        super().__init__(
+            action_space=CompositeSpace(
+                [Discrete("x", 0, 7, 1), Categorical("m", ("a", "b"))]
+            ),
+            observation_metrics=["cost"],
+            reward_spec=TargetReward("cost", target=1.0),
+            episode_length=10_000,
+        )
+
+    def evaluate(self, action):
+        return {"cost": 1.0 + abs(action["x"] - 5) + (action["m"] == "a")}
+
+
+class TestStats:
+    def test_iqr(self):
+        assert iqr([1, 2, 3, 4, 5]) == pytest.approx(2.0)
+
+    def test_iqr_empty(self):
+        with pytest.raises(ArchGymError):
+            iqr([])
+
+    def test_spread_percent(self):
+        # values 10..20, median 15, iqr 5 -> 33.3%
+        assert spread_percent([10, 12.5, 15, 17.5, 20]) == pytest.approx(100 * 5 / 15)
+
+    def test_spread_zero_median(self):
+        assert spread_percent([0.0, 0.0, 0.0]) == 0.0
+
+    def test_normalize_scores(self):
+        norm = normalize_scores({"a": 2.0, "b": 4.0})
+        assert norm == {"a": 0.5, "b": 1.0}
+
+    def test_normalize_negative_scores(self):
+        norm = normalize_scores({"a": -4.0, "b": -1.0})
+        assert norm["b"] == 1.0
+        assert norm["a"] == 0.0
+
+    def test_normalize_empty(self):
+        with pytest.raises(ArchGymError):
+            normalize_scores({})
+
+    def test_five_number_summary(self):
+        s = FiveNumberSummary.from_values([1, 2, 3, 4, 5])
+        assert s.minimum == 1 and s.maximum == 5 and s.median == 3
+        assert s.iqr == pytest.approx(2.0)
+        assert "n=  5" in s.row("label")
+
+
+class TestLotterySweep:
+    def test_sweep_shape(self):
+        report = run_lottery_sweep(
+            TinyEnv, agents=("rw", "ga"), n_trials=3, n_samples=30, seed=0
+        )
+        assert set(report.results) == {"rw", "ga"}
+        assert all(len(v) == 3 for v in report.results.values())
+        assert report.env_id == "Tiny-v0"
+
+    def test_trials_use_different_hyperparams(self):
+        report = run_lottery_sweep(
+            TinyEnv, agents=("ga",), n_trials=6, n_samples=20, seed=1
+        )
+        tags = {str(sorted(r.hyperparameters.items())) for r in report.results["ga"]}
+        assert len(tags) > 1
+
+    def test_best_fitness_and_result(self):
+        report = run_lottery_sweep(
+            TinyEnv, agents=("rw",), n_trials=4, n_samples=50, seed=2
+        )
+        best = report.best_result("rw")
+        assert best.best_fitness == report.best_fitness("rw")
+
+    def test_normalized_best_in_unit_interval(self):
+        report = run_lottery_sweep(
+            TinyEnv, agents=("rw", "ga", "aco"), n_trials=2, n_samples=40, seed=3
+        )
+        norm = report.normalized_best()
+        assert max(norm.values()) == pytest.approx(1.0)
+        assert all(0.0 <= v <= 1.0 for v in norm.values())
+
+    def test_budget_views_monotone(self):
+        report = run_lottery_sweep(
+            TinyEnv, agents=("rw",), n_trials=3, n_samples=60, seed=4
+        )
+        early = report.mean_normalized_at(5)["rw"]
+        late = report.mean_normalized_at(60)["rw"]
+        # fitness histories are monotone, but normalization is relative;
+        # raw best-at must be monotone:
+        raw_early = max(r.fitness_at(5) for r in report.results["rw"])
+        raw_late = max(r.fitness_at(60) for r in report.results["rw"])
+        assert raw_late >= raw_early
+        assert 0.0 <= early <= 1.0 and 0.0 <= late <= 1.0
+
+    def test_collect_dataset_aggregates_sources(self):
+        report = run_lottery_sweep(
+            TinyEnv, agents=("rw", "ga"), n_trials=2, n_samples=25, seed=5,
+            collect_dataset=True,
+        )
+        assert report.dataset is not None
+        assert len(report.dataset) == 2 * 2 * 25
+        assert len(report.dataset.sources) == 4  # one tag per trial
+
+    def test_unknown_agent_in_report(self):
+        report = run_lottery_sweep(TinyEnv, agents=("rw",), n_trials=1,
+                                   n_samples=10, seed=6)
+        with pytest.raises(ArchGymError):
+            report.best_fitness("bo")
+
+    def test_bad_args(self):
+        with pytest.raises(ArchGymError):
+            run_lottery_sweep(TinyEnv, agents=("rw",), n_trials=0, n_samples=10)
+
+    def test_print_table_contains_agents(self):
+        report = run_lottery_sweep(TinyEnv, agents=("rw", "ga"), n_trials=2,
+                                   n_samples=15, seed=7)
+        table = report.print_table()
+        assert "rw" in table and "ga" in table and "spread" in table
+
+    def test_deterministic_given_seed(self):
+        a = run_lottery_sweep(TinyEnv, agents=("rw", "aco"), n_trials=2,
+                              n_samples=20, seed=11)
+        b = run_lottery_sweep(TinyEnv, agents=("rw", "aco"), n_trials=2,
+                              n_samples=20, seed=11)
+        for agent in ("rw", "aco"):
+            assert [r.best_fitness for r in a.results[agent]] == [
+                r.best_fitness for r in b.results[agent]
+            ]
+
+
+@given(st.lists(st.floats(-100, 100), min_size=2, max_size=50))
+@settings(max_examples=100)
+def test_prop_iqr_nonnegative_and_bounded(values):
+    v = iqr(values)
+    assert v >= 0.0
+    assert v <= max(values) - min(values) + 1e-9
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from(("a", "b", "c", "d")),
+        st.floats(-1e6, 1e6),
+        min_size=1,
+    )
+)
+@settings(max_examples=100)
+def test_prop_normalize_scores_unit_interval(scores):
+    norm = normalize_scores(scores)
+    assert all(0.0 <= v <= 1.0 + 1e-12 for v in norm.values())
+    assert max(norm.values()) == pytest.approx(1.0)

@@ -1,0 +1,77 @@
+"""Tests for trace characterization (repro.dramsys.trace_stats)."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.dramsys import DramDevice, Trace, generate_trace
+from repro.dramsys.trace_stats import TraceProfile, profile_trace
+
+
+class TestProfileTrace:
+    def test_stream_profile(self):
+        p = profile_trace(generate_trace("stream", 1000, seed=0))
+        # sequential lines: near-perfect per-bank row locality and
+        # near-uniform bank spread under bank interleaving
+        assert p.row_locality > 0.85
+        assert p.bank_spread > 0.95
+        assert p.row_footprint_per_k < 100
+
+    def test_random_profile(self):
+        p = profile_trace(generate_trace("random", 1000, seed=0))
+        assert p.row_locality < 0.05
+        assert p.bank_spread > 0.9
+        assert p.row_footprint_per_k > 800
+
+    def test_pointer_chase_profile(self):
+        p = profile_trace(generate_trace("pointer_chase", 500, seed=0))
+        assert p.write_fraction == 0.0
+        assert p.mean_gap_ns > 50.0
+
+    def test_cloud_traces_bursty(self):
+        p1 = profile_trace(generate_trace("cloud-1", 1000, seed=0))
+        stream = profile_trace(generate_trace("stream", 1000, seed=0))
+        assert p1.burstiness > stream.burstiness
+
+    def test_row_interleaved_mapping_changes_spread(self):
+        trace = generate_trace("stream", 1000, seed=0)
+        bank_il = profile_trace(trace)
+        row_il = profile_trace(
+            trace, DramDevice(address_mapping="row_interleaved")
+        )
+        # a stream touches far fewer banks under row interleaving
+        assert row_il.bank_spread < bank_il.bank_spread
+
+    def test_as_dict_keys(self):
+        p = profile_trace(generate_trace("stream", 100, seed=0))
+        d = p.as_dict()
+        for key in (
+            "n_requests", "duration_ns", "write_fraction", "row_locality",
+            "bank_spread", "mean_gap_ns", "burstiness", "row_footprint_per_k",
+        ):
+            assert key in d
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(SimulationError):
+            profile_trace(Trace("empty", ()))
+
+    def test_single_request(self):
+        trace = generate_trace("random", 1, seed=0)
+        p = profile_trace(trace)
+        assert p.n_requests == 1
+        assert p.mean_gap_ns == 0.0
+
+    def test_profiles_separate_workload_classes(self):
+        """The five built-in traces must be pairwise distinguishable on
+        (row_locality, write_fraction, mean_gap) — the diversity the DSE
+        experiments rely on."""
+        from repro.dramsys.traces import TRACE_NAMES
+
+        signatures = {}
+        for name in TRACE_NAMES:
+            p = profile_trace(generate_trace(name, 800, seed=0))
+            signatures[name] = (
+                round(p.row_locality, 1),
+                round(p.write_fraction, 1),
+                round(min(p.mean_gap_ns, 100.0), -1),
+            )
+        assert len(set(signatures.values())) == len(TRACE_NAMES), signatures
