@@ -11,7 +11,6 @@ reproduce:
    markedly as the budget grows.
 """
 
-import numpy as np
 
 from repro.agents import AGENT_NAMES
 from repro.envs.dram import DRAMGymEnv

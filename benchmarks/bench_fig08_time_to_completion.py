@@ -11,7 +11,6 @@ environment.
 Evaluation caching is disabled so each step pays the real simulation.
 """
 
-import numpy as np
 
 from repro.agents import AGENT_NAMES, make_agent, run_agent
 from repro.envs.dram import DRAMGymEnv

@@ -15,6 +15,14 @@ from typing import Any, Callable
 import pytest
 
 
+def pytest_collection_modifyitems(items):
+    """Every benchmark is a full (if scaled-down) paper experiment —
+    mark them ``slow`` so ``-m "not slow"`` keeps CI's default job
+    fast and benchmarks stay opt-in."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture
 def run_once(benchmark):
     """Run the experiment under the benchmark clock, exactly once."""

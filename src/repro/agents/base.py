@@ -91,6 +91,9 @@ class SearchResult:
     best_fitness_history: List[float] = field(default_factory=list)
     target_met: bool = False
     wall_time_s: float = 0.0
+    sim_time_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def fitness_at(self, n: int) -> float:
         """Best fitness after the first ``n`` samples (sample-budget view,
@@ -120,6 +123,12 @@ def run_agent(
     higher = env.reward_spec.higher_is_better
     if env.dataset is not None:
         env.set_source(source_tag or agent.hyperparam_tag())
+
+    # Snapshot counters so a shared environment (e.g. the CLI's collect
+    # command) attributes only this run's simulator cost to the result.
+    sim_time_0 = env.stats.total_sim_time
+    hits_0 = env.stats.cache_hits
+    misses_0 = env.stats.cache_misses
 
     start = time.perf_counter()
     env.reset(seed=seed)
@@ -162,4 +171,7 @@ def run_agent(
         best_fitness_history=best_history,
         target_met=target_met,
         wall_time_s=time.perf_counter() - start,
+        sim_time_s=env.stats.total_sim_time - sim_time_0,
+        cache_hits=env.stats.cache_hits - hits_0,
+        cache_misses=env.stats.cache_misses - misses_0,
     )

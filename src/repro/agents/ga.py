@@ -11,7 +11,7 @@ mutation, and elitism (Q3 knobs: ``mutation_rate``, ``crossover_rate``,
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping
 
 import numpy as np
 

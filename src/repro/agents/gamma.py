@@ -18,7 +18,7 @@ builds each by name.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, List, Optional
 
 import numpy as np
 

@@ -14,6 +14,11 @@ Commands
 ``collect``
     Run several agents, log all trajectories, and write an ArchGym
     dataset (JSONL) — the §3.4 pipeline.
+
+``sweep`` and ``collect`` accept ``--workers N`` to fan trials out over
+a process pool (results are bit-identical for any worker count) and
+``--no-cache`` to disable the per-environment design-point evaluation
+cache.
 """
 
 from __future__ import annotations
@@ -21,9 +26,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence
-
-import numpy as np
+from typing import Optional, Sequence
 
 import repro
 from repro.agents import (
@@ -33,9 +36,29 @@ from repro.agents import (
     run_agent,
 )
 from repro.core.dataset import ArchGymDataset
-from repro.sweeps import run_lottery_sweep
+from repro.sweeps import (
+    TrialTask,
+    execute_trials,
+    run_lottery_sweep,
+    validate_agent_names,
+)
 
 __all__ = ["main", "build_parser"]
+
+
+class RegistryEnvFactory:
+    """A picklable ``env_factory``: ``repro.make`` deferred to call time.
+
+    ``--workers`` sends trial tasks across a process boundary, so the
+    factory must pickle — a lambda closed over argparse values cannot.
+    """
+
+    def __init__(self, env_id: str, **kwargs: object) -> None:
+        self.env_id = env_id
+        self.kwargs = kwargs
+
+    def __call__(self) -> repro.ArchGymEnv:
+        return repro.make(self.env_id, **self.kwargs)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,6 +91,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--trials", type=int, default=4)
     sweep_p.add_argument("--samples", type=int, default=150)
     sweep_p.add_argument("--seed", type=int, default=0)
+    sweep_p.add_argument("--workers", type=int, default=1,
+                         help="process-pool width; trial results are "
+                              "bit-identical for any worker count")
+    sweep_p.add_argument("--no-cache", action="store_true",
+                         help="disable the design-point evaluation cache")
     sweep_p.add_argument("--boxplots", action="store_true",
                          help="render per-agent distribution box plots")
     sweep_p.add_argument("--export", default=None,
@@ -80,6 +108,10 @@ def build_parser() -> argparse.ArgumentParser:
     col_p.add_argument("--samples", type=int, default=200,
                        help="samples per agent")
     col_p.add_argument("--seed", type=int, default=0)
+    col_p.add_argument("--workers", type=int, default=1,
+                       help="process-pool width (one task per agent)")
+    col_p.add_argument("--no-cache", action="store_true",
+                       help="disable the design-point evaluation cache")
     col_p.add_argument("--out", required=True, help="output JSONL path")
     return parser
 
@@ -130,11 +162,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     agents = tuple(a.strip() for a in args.agents.split(",") if a.strip())
-    kwargs = _env_kwargs(args)
     report = run_lottery_sweep(
-        lambda: repro.make(args.env, **kwargs),
+        RegistryEnvFactory(args.env, **_env_kwargs(args)),
         agents=agents, n_trials=args.trials,
         n_samples=args.samples, seed=args.seed,
+        workers=args.workers, cache=False if args.no_cache else None,
     )
     print(report.print_table(boxplots=args.boxplots))
     if args.export:
@@ -150,12 +182,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_collect(args: argparse.Namespace) -> int:
     agents = tuple(a.strip() for a in args.agents.split(",") if a.strip())
-    env = repro.make(args.env, **_env_kwargs(args))
-    dataset = ArchGymDataset()
-    env.attach_dataset(dataset)
-    for name in agents:
-        agent = make_agent(name, env.action_space, seed=args.seed)
-        run_agent(agent, env, n_samples=args.samples, seed=args.seed)
+    validate_agent_names(agents)
+    factory = RegistryEnvFactory(args.env, **_env_kwargs(args))
+    tasks = [
+        TrialTask(
+            index=i, agent=name, hyperparams={},
+            agent_seed=args.seed, run_seed=args.seed,
+            n_samples=args.samples, env_factory=factory,
+            collect=True, cache=False if args.no_cache else None,
+        )
+        for i, name in enumerate(agents)
+    ]
+    outcomes = execute_trials(tasks, workers=args.workers)
+    dataset = ArchGymDataset.merge_all(
+        [ArchGymDataset(o.env_id, o.transitions) for o in outcomes]
+    )
+    # Per-task environments restart their step counters; restore the
+    # single-process global numbering before writing.
+    dataset.renumber_steps()
     dataset.save_jsonl(args.out)
     print(f"wrote {len(dataset)} transitions from {len(dataset.sources)} "
           f"sources to {args.out}")

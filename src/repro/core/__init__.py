@@ -1,12 +1,13 @@
 """Core gym infrastructure: spaces, environments, rewards, datasets."""
 
 from repro.core.dataset import ArchGymDataset, Transition
-from repro.core.env import ArchGymEnv, EnvStats
+from repro.core.env import ArchGymEnv, EnvStats, canonical_action_key
 from repro.core.errors import (
     AgentError,
     ArchGymError,
     DatasetError,
     EnvironmentError_,
+    ExecutorError,
     InvalidActionError,
     ProxyModelError,
     RegistryError,
@@ -34,9 +35,11 @@ __all__ = [
     "Transition",
     "ArchGymEnv",
     "EnvStats",
+    "canonical_action_key",
     "ArchGymError",
     "AgentError",
     "DatasetError",
+    "ExecutorError",
     "EnvironmentError_",
     "InvalidActionError",
     "ProxyModelError",

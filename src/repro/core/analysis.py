@@ -16,7 +16,7 @@ quantitative here:
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict
 
 import numpy as np
 

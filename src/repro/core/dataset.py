@@ -132,13 +132,30 @@ class ArchGymDataset:
         return merged
 
     @staticmethod
-    def merge_all(datasets: Sequence["ArchGymDataset"]) -> "ArchGymDataset":
+    def merge_all(
+        datasets: Sequence["ArchGymDataset"], env_id: str = ""
+    ) -> "ArchGymDataset":
+        """Concatenate many datasets in order. An explicit ``env_id``
+        permits merging an empty list (the parallel sweep aggregator may
+        have zero logging trials)."""
         if not datasets:
-            raise DatasetError("merge_all needs at least one dataset")
+            if env_id:
+                return ArchGymDataset(env_id)
+            raise DatasetError("merge_all needs at least one dataset or an env_id")
         merged = datasets[0]
         for d in datasets[1:]:
             merged = merged.merge(d)
         return merged
+
+    def renumber_steps(self) -> None:
+        """Rewrite every transition's ``step`` to its global 1-based
+        position. Per-worker trajectory logs restart their step counters;
+        after merging, this restores the single-process numbering."""
+        from dataclasses import replace
+
+        self._transitions = [
+            replace(t, step=i + 1) for i, t in enumerate(self._transitions)
+        ]
 
     def sample(
         self, n: int, rng: np.random.Generator, replace: bool = False

@@ -19,10 +19,19 @@ design point. ``episode_length`` bounds the suggestions per episode
 (``truncated``), and an episode ``terminated`` early once the design
 meets the user target. Every step is logged to an attached
 :class:`~repro.core.dataset.ArchGymDataset` (Fig. 9).
+
+Because the built-in cost models are deterministic functions of the
+action, an environment can memoize them: :meth:`ArchGymEnv.enable_cache`
+turns on a design-point evaluation cache keyed on the canonicalized
+action dict, so repeated queries of the same design skip the simulator
+entirely (the same wall-clock argument that motivates the paper's proxy
+models, Fig. 12). Cache hits still produce a full gym step — reward,
+logging, episode accounting — only the ``evaluate`` call is skipped.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -32,10 +41,34 @@ from repro.core.errors import EnvironmentError_, InvalidActionError
 from repro.core.rewards import RewardSpec
 from repro.core.spaces import CompositeSpace
 
-__all__ = ["ArchGymEnv", "EnvStats"]
+__all__ = ["ArchGymEnv", "EnvStats", "canonical_action_key"]
 
 Observation = np.ndarray
 StepResult = Tuple[Observation, float, bool, bool, Dict[str, Any]]
+
+ActionKey = Tuple[Tuple[str, Any], ...]
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively convert a value to a hashable equivalent."""
+    if isinstance(value, np.ndarray):
+        return tuple(_freeze(v) for v in value.tolist())
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def canonical_action_key(action: Mapping[str, Any]) -> ActionKey:
+    """A hashable, order-insensitive identity for a design point.
+
+    Numpy scalars are unwrapped to native Python values so that an
+    agent proposing ``np.int64(4)`` and one proposing ``4`` hit the
+    same cache line; arrays and (nested) sequences are frozen to
+    tuples.
+    """
+    return tuple((name, _freeze(action[name])) for name in sorted(action))
 
 
 class EnvStats:
@@ -45,11 +78,14 @@ class EnvStats:
         self.total_steps = 0
         self.total_episodes = 0
         self.total_sim_time = 0.0  # seconds spent inside the cost model
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def __repr__(self) -> str:
         return (
             f"EnvStats(steps={self.total_steps}, episodes={self.total_episodes}, "
-            f"sim_time={self.total_sim_time:.3f}s)"
+            f"sim_time={self.total_sim_time:.3f}s, "
+            f"cache={self.cache_hits}h/{self.cache_misses}m)"
         )
 
 
@@ -93,6 +129,8 @@ class ArchGymEnv:
         self.episode_length = episode_length
         self.terminate_on_target = terminate_on_target
         self.stats = EnvStats()
+        self._eval_cache: "Optional[OrderedDict[ActionKey, Dict[str, float]]]" = None
+        self._eval_cache_maxsize = 0
         self.dataset: Optional[ArchGymDataset] = None
         self._source_tag = "unknown"
         self._rng = np.random.default_rng(0)
@@ -109,6 +147,50 @@ class ArchGymEnv:
         their substrate simulator.
         """
         raise NotImplementedError
+
+    # -- evaluation cache ---------------------------------------------------------
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self._eval_cache is not None
+
+    def enable_cache(self, maxsize: int = 4096) -> None:
+        """Memoize :meth:`evaluate` on the canonicalized action.
+
+        Only valid for deterministic cost models (all built-in
+        environments qualify): a cached step returns the stored metric
+        dict instead of re-running the simulator. The memo is a bounded
+        LRU of ``maxsize`` design points (``maxsize <= 0`` is a no-op).
+        DSE agents revisit designs constantly — GA elites, ACO's
+        converged trails, BO's incumbent — so hit rates are high in
+        practice. Hit/miss counts land in ``stats.cache_hits`` /
+        ``stats.cache_misses``.
+        """
+        if maxsize <= 0:
+            return
+        if self._eval_cache is None:
+            self._eval_cache = OrderedDict()
+        self._eval_cache_maxsize = maxsize
+        while len(self._eval_cache) > maxsize:
+            self._eval_cache.popitem(last=False)
+
+    def disable_cache(self) -> None:
+        """Stop memoizing and drop any stored design points."""
+        self._eval_cache = None
+        self._eval_cache_maxsize = 0
+
+    def clear_cache(self) -> None:
+        """Drop stored design points but keep caching enabled."""
+        if self._eval_cache is not None:
+            self._eval_cache.clear()
+
+    def cache_info(self) -> Dict[str, int]:
+        """``{"hits", "misses", "size"}`` for the evaluation cache."""
+        return {
+            "hits": self.stats.cache_hits,
+            "misses": self.stats.cache_misses,
+            "size": len(self._eval_cache) if self._eval_cache is not None else 0,
+        }
 
     # -- dataset plumbing ---------------------------------------------------------
 
@@ -157,15 +239,27 @@ class ArchGymEnv:
 
         import time
 
-        start = time.perf_counter()
-        metrics = self.evaluate(action)
-        self.stats.total_sim_time += time.perf_counter() - start
+        key = canonical_action_key(action) if self._eval_cache is not None else None
+        cached = self._eval_cache.get(key) if key is not None else None
+        if cached is not None:
+            self.stats.cache_hits += 1
+            self._eval_cache.move_to_end(key)
+            metrics: Dict[str, float] = dict(cached)
+        else:
+            start = time.perf_counter()
+            metrics = self.evaluate(action)
+            self.stats.total_sim_time += time.perf_counter() - start
 
-        missing = [m for m in self.observation_metrics if m not in metrics]
-        if missing:
-            raise EnvironmentError_(
-                f"cost model did not report metrics {missing}; got {sorted(metrics)}"
-            )
+            missing = [m for m in self.observation_metrics if m not in metrics]
+            if missing:
+                raise EnvironmentError_(
+                    f"cost model did not report metrics {missing}; got {sorted(metrics)}"
+                )
+            if key is not None:
+                self.stats.cache_misses += 1
+                self._eval_cache[key] = {k: float(v) for k, v in metrics.items()}
+                if len(self._eval_cache) > self._eval_cache_maxsize:
+                    self._eval_cache.popitem(last=False)
 
         reward = self.reward_spec.compute(metrics)
         observation = np.array(

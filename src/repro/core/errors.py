@@ -40,5 +40,10 @@ class AgentError(ArchGymError):
     """An agent was configured or driven incorrectly."""
 
 
+class ExecutorError(ArchGymError):
+    """The parallel sweep executor was misconfigured (bad worker count,
+    unpicklable task, worker crash)."""
+
+
 class ProxyModelError(ArchGymError):
     """A proxy cost model operation (fit, predict) is invalid."""

@@ -18,7 +18,7 @@ All reward objects expose ``compute(metrics) -> float`` plus a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Sequence, Tuple
+from typing import Dict, Mapping, Tuple
 
 from repro.core.errors import ArchGymError
 

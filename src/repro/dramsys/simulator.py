@@ -29,7 +29,7 @@ Modeled mechanisms — exactly the ones the controller parameters tune:
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.errors import SimulationError

@@ -20,7 +20,6 @@ from repro.dramsys.config import ControllerConfig, controller_space
 from repro.dramsys.device import DDR4_2400, DramDevice
 from repro.dramsys.simulator import DramSimulator
 from repro.dramsys.traces import generate_trace
-from repro.envs.base import EvaluationCache
 
 __all__ = ["DRAMGymEnv", "DRAM_OBJECTIVES"]
 
@@ -92,13 +91,9 @@ class DRAMGymEnv(ArchGymEnv):
         self.latency_target_ns = latency_target_ns
         self.trace = trace
         self.simulator = simulator
-        self._cache = EvaluationCache(cache_size)
+        self.enable_cache(cache_size)
 
     def evaluate(self, action: Mapping[str, Any]) -> Dict[str, float]:
-        key = tuple(self.action_space.encode(action))
-        return self._cache.get_or_compute(
-            key,
-            lambda: self.simulator.simulate(
-                ControllerConfig.from_action(action), self.trace
-            ).metrics(),
-        )
+        return self.simulator.simulate(
+            ControllerConfig.from_action(action), self.trace
+        ).metrics()

@@ -15,7 +15,6 @@ from typing import Any, Dict, Mapping, Optional
 
 from repro.core.env import ArchGymEnv
 from repro.core.rewards import BudgetDistanceReward
-from repro.envs.base import EvaluationCache
 from repro.farsi.simulator import FarsiSimulator
 from repro.farsi.soc import SoCConfig, soc_space
 from repro.farsi.workloads import get_farsi_workload
@@ -52,13 +51,9 @@ class FARSIGymEnv(ArchGymEnv):
         )
         self.workload = workload
         self.simulator = FarsiSimulator()
-        self._cache = EvaluationCache(cache_size)
+        self.enable_cache(cache_size)
 
     def evaluate(self, action: Mapping[str, Any]) -> Dict[str, float]:
-        key = tuple(self.action_space.encode(action))
-        return self._cache.get_or_compute(
-            key,
-            lambda: self.simulator.simulate(
-                SoCConfig.from_action(action), self.farsi_workload.graph
-            ).metrics(),
-        )
+        return self.simulator.simulate(
+            SoCConfig.from_action(action), self.farsi_workload.graph
+        ).metrics()

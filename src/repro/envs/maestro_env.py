@@ -16,7 +16,6 @@ from typing import Any, Dict, Mapping
 from repro.core.env import ArchGymEnv
 from repro.core.rewards import InverseReward
 from repro.dnn import get_workload
-from repro.envs.base import EvaluationCache
 from repro.maestro.mapping import Mapping as MaestroMapping
 from repro.maestro.mapping import mapping_space
 from repro.maestro.model import MaestroAccelerator, MaestroModel
@@ -48,13 +47,9 @@ class MaestroGymEnv(ArchGymEnv):
         self.workload = workload
         self.layers = get_workload(workload)
         self.model = MaestroModel(accelerator)
-        self._cache = EvaluationCache(cache_size)
+        self.enable_cache(cache_size)
 
     def evaluate(self, action: Mapping[str, Any]) -> Dict[str, float]:
-        key = tuple(self.action_space.encode(action))
-        return self._cache.get_or_compute(
-            key,
-            lambda: self.model.evaluate_network(
-                MaestroMapping.from_action(action), self.layers
-            ),
+        return self.model.evaluate_network(
+            MaestroMapping.from_action(action), self.layers
         )

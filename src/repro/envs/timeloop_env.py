@@ -18,7 +18,6 @@ from repro.core.env import ArchGymEnv
 from repro.core.errors import EnvironmentError_
 from repro.core.rewards import JointTargetReward, RewardSpec, TargetReward
 from repro.dnn import get_workload
-from repro.envs.base import EvaluationCache
 from repro.timeloop.arch import EYERISS_LIKE, AcceleratorConfig, accelerator_space
 from repro.timeloop.model import TimeloopModel
 
@@ -81,13 +80,9 @@ class TimeloopGymEnv(ArchGymEnv):
         self.objective = objective
         self.latency_target_ms = latency_target_ms
         self.energy_target_mj = energy_target_mj
-        self._cache = EvaluationCache(cache_size)
+        self.enable_cache(cache_size)
 
     def evaluate(self, action: Mapping[str, Any]) -> Dict[str, float]:
-        key = tuple(self.action_space.encode(action))
-        return self._cache.get_or_compute(
-            key,
-            lambda: self.model.evaluate_network(
-                AcceleratorConfig.from_action(action), self.layers
-            ),
+        return self.model.evaluate_network(
+            AcceleratorConfig.from_action(action), self.layers
         )

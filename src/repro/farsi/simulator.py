@@ -18,7 +18,7 @@ them).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
 from repro.core.errors import SimulationError
 from repro.farsi.soc import SoCConfig

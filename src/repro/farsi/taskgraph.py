@@ -8,7 +8,7 @@ reads from the producer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 
 import networkx as nx

@@ -14,7 +14,7 @@ distance-to-budget reward.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict
 
 from repro.core.errors import SimulationError
 from repro.farsi.taskgraph import Task, TaskGraph

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import permutations
-from typing import Any, Dict, Mapping as TMapping, Tuple
+from typing import Any, Dict, Mapping as TMapping
 
 from repro.core.errors import SimulationError
 from repro.core.spaces import Categorical, CompositeSpace, Discrete

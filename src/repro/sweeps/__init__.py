@@ -1,5 +1,6 @@
-"""Sweep harness and lottery statistics (paper §6)."""
+"""Sweep harness, parallel executor, and lottery statistics (paper §6)."""
 
+from repro.sweeps.executor import TrialOutcome, TrialTask, execute_trials
 from repro.sweeps.export import (
     load_report_json,
     report_to_rows,
@@ -7,15 +8,19 @@ from repro.sweeps.export import (
     save_report_json,
 )
 from repro.sweeps.plots import render_boxplot, render_boxplots
-from repro.sweeps.runner import SweepReport, run_lottery_sweep
+from repro.sweeps.runner import SweepReport, run_lottery_sweep, validate_agent_names
 from repro.sweeps.stats import (
     FiveNumberSummary,
+    hit_rate,
     iqr,
     normalize_scores,
     spread_percent,
 )
 
 __all__ = [
+    "TrialTask",
+    "TrialOutcome",
+    "execute_trials",
     "load_report_json",
     "report_to_rows",
     "save_report_csv",
@@ -24,7 +29,9 @@ __all__ = [
     "render_boxplots",
     "SweepReport",
     "run_lottery_sweep",
+    "validate_agent_names",
     "FiveNumberSummary",
+    "hit_rate",
     "iqr",
     "normalize_scores",
     "spread_percent",

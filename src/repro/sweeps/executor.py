@@ -1,0 +1,144 @@
+"""Task-based parallel execution for sweep trials.
+
+The hyperparameter-lottery methodology (§6.1) is embarrassingly
+parallel: every (agent, ticket) trial builds its own environment, runs
+its own search, and only meets the others in the final report. This
+module turns one trial into a self-contained, picklable
+:class:`TrialTask` and fans a batch of them out over a
+``concurrent.futures.ProcessPoolExecutor``.
+
+Determinism is the design constraint: the *parent* precomputes every
+task's hyperparameters and seeds (in the exact order the serial runner
+drew them), so a task's outcome depends only on its own fields — never
+on which worker ran it or in what order. ``workers=1`` short-circuits
+to a plain in-process loop with zero multiprocessing overhead, and any
+worker count yields bit-identical results.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.agents.base import SearchResult, run_agent
+from repro.agents.hyperparams import make_agent
+from repro.core.dataset import ArchGymDataset, Transition
+from repro.core.env import ArchGymEnv
+from repro.core.errors import ExecutorError
+
+__all__ = ["TrialTask", "TrialOutcome", "execute_trials"]
+
+EnvFactory = Callable[[], ArchGymEnv]
+
+
+@dataclass(frozen=True)
+class TrialTask:
+    """One self-contained sweep trial: everything a worker needs.
+
+    ``index`` is the task's position in the serial execution order;
+    outcomes are re-sorted on it so callers always see results in the
+    order a single-process run would have produced them.
+    """
+
+    index: int
+    agent: str
+    hyperparams: Dict[str, Any]
+    agent_seed: int
+    run_seed: int
+    n_samples: int
+    env_factory: EnvFactory
+    collect: bool = False
+    #: Tri-state: ``None`` leaves the environment's own cache
+    #: configuration alone (built-in envs enable theirs in __init__,
+    #: and a factory passing ``cache_size=0`` has opted out on
+    #: purpose); ``True`` force-enables; ``False`` force-disables.
+    cache: Optional[bool] = None
+
+
+@dataclass
+class TrialOutcome:
+    """What one trial sends back across the process boundary."""
+
+    index: int
+    agent: str
+    env_id: str
+    result: SearchResult
+    transitions: List[Transition] = field(default_factory=list)
+
+
+def run_trial(task: TrialTask) -> TrialOutcome:
+    """Execute one trial start to finish (the worker entry point).
+
+    Builds a fresh environment, optionally enables the evaluation cache
+    and a private trajectory log, and drives the agent for the task's
+    sample budget. Module-level so it pickles by reference.
+    """
+    env = task.env_factory()
+    if task.cache is True:
+        if not env.cache_enabled:  # keep a larger pre-configured cache
+            env.enable_cache()
+    elif task.cache is False:
+        env.disable_cache()
+    dataset: Optional[ArchGymDataset] = None
+    if task.collect:
+        dataset = ArchGymDataset(env.env_id)
+        env.attach_dataset(dataset)
+    agent = make_agent(
+        task.agent, env.action_space, seed=task.agent_seed, **task.hyperparams
+    )
+    result = run_agent(agent, env, n_samples=task.n_samples, seed=task.run_seed)
+    return TrialOutcome(
+        index=task.index,
+        agent=task.agent,
+        env_id=env.env_id,
+        result=result,
+        transitions=list(dataset) if dataset is not None else [],
+    )
+
+
+def _check_picklable(tasks: Sequence[TrialTask]) -> None:
+    """Fail fast with a readable error instead of a mid-pool crash."""
+    try:
+        pickle.dumps(list(tasks))
+    except Exception as exc:
+        raise ExecutorError(
+            "sweep tasks are not picklable, so they cannot cross the "
+            "process boundary — the usual culprit is a lambda/closure "
+            "env_factory. Use a module-level function, a class, or "
+            "functools.partial of either, or run with workers=1. "
+            f"Original error: {exc}"
+        ) from exc
+
+
+def execute_trials(
+    tasks: Sequence[TrialTask], workers: int = 1
+) -> List[TrialOutcome]:
+    """Run every task and return outcomes sorted by ``task.index``.
+
+    ``workers=1`` runs in-process (deterministic fallback, no pickling
+    requirement); ``workers>1`` fans out over a process pool. Results
+    are identical either way because each task carries its own seeds.
+    A worker exception cancels the remaining futures and propagates.
+    """
+    if workers < 1:
+        raise ExecutorError(f"workers must be >= 1, got {workers}")
+    if not tasks:
+        return []
+
+    if workers == 1:
+        return sorted((run_trial(task) for task in tasks), key=lambda o: o.index)
+
+    _check_picklable(tasks)
+    outcomes: List[TrialOutcome] = []
+    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+        futures = [pool.submit(run_trial, task) for task in tasks]
+        try:
+            for future in futures:
+                outcomes.append(future.result())
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+    return sorted(outcomes, key=lambda o: o.index)

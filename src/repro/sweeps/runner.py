@@ -6,23 +6,36 @@ against a freshly built environment for ``n_samples`` cost-model
 queries, and collect the outcome distribution. The resulting
 :class:`SweepReport` answers the lottery questions directly — per-agent
 spread (IQR) and whether every agent's *best* ticket is competitive.
+
+Trials are scheduled through :mod:`repro.sweeps.executor`: the runner
+precomputes every trial's hyperparameters and seeds in serial order,
+then fans the resulting tasks out over ``workers`` processes — so the
+report is bit-identical for any worker count, and per-trial trajectory
+logs are merged back into one dataset after the barrier.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.agents.base import SearchResult, run_agent
-from repro.agents.hyperparams import make_agent, sample_hyperparams
+from repro.agents.base import SearchResult
+from repro.agents.hyperparams import HYPERPARAM_GRIDS, sample_hyperparams
 from repro.core.dataset import ArchGymDataset
 from repro.core.env import ArchGymEnv
 from repro.core.errors import ArchGymError
-from repro.sweeps.stats import FiveNumberSummary, normalize_scores, spread_percent
+from repro.sweeps.executor import TrialTask, execute_trials
+from repro.sweeps.stats import (
+    FiveNumberSummary,
+    hit_rate,
+    normalize_scores,
+    spread_percent,
+)
 
-__all__ = ["SweepReport", "run_lottery_sweep"]
+__all__ = ["SweepReport", "run_lottery_sweep", "validate_agent_names"]
 
 EnvFactory = Callable[[], ArchGymEnv]
 
@@ -35,6 +48,25 @@ class SweepReport:
     n_samples: int
     results: Dict[str, List[SearchResult]] = field(default_factory=dict)
     dataset: Optional[ArchGymDataset] = None
+    workers: int = 1
+    wall_time_s: float = 0.0
+
+    # -- execution accounting ---------------------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        """Design-point evaluations answered from the cache, sweep-wide."""
+        return sum(r.cache_hits for rs in self.results.values() for r in rs)
+
+    @property
+    def cache_misses(self) -> int:
+        """Design-point evaluations that actually ran the cost model."""
+        return sum(r.cache_misses for rs in self.results.values() for r in rs)
+
+    @property
+    def sim_time_s(self) -> float:
+        """Total seconds spent inside cost models across all trials."""
+        return sum(r.sim_time_s for rs in self.results.values() for r in rs)
 
     # -- lottery analytics ------------------------------------------------------------
 
@@ -119,6 +151,12 @@ class SweepReport:
             "normalized best: "
             + "  ".join(f"{a}={v:.3f}" for a, v in sorted(norm.items()))
         )
+        if self.cache_hits or self.cache_misses:
+            lines.append(
+                f"eval cache: {self.cache_hits} hits / {self.cache_misses} "
+                f"misses ({100 * hit_rate(self.cache_hits, self.cache_misses):.1f}% "
+                f"hit rate, sim time {self.sim_time_s:.3f}s)"
+            )
         if boxplots:
             from repro.sweeps.plots import render_boxplots
 
@@ -130,6 +168,21 @@ class SweepReport:
         return "\n".join(lines)
 
 
+def validate_agent_names(agents: Sequence[str]) -> None:
+    """Reject unknown agent names before any trial burns samples.
+
+    A typo in ``agents[3]`` used to surface only after agents[0..2] had
+    finished their full sweeps; now the whole batch fails fast.
+    """
+    if not agents:
+        raise ArchGymError("agents must name at least one agent")
+    unknown = [a for a in agents if a not in HYPERPARAM_GRIDS]
+    if unknown:
+        raise ArchGymError(
+            f"unknown agent(s) {unknown}; valid: {sorted(HYPERPARAM_GRIDS)}"
+        )
+
+
 def run_lottery_sweep(
     env_factory: EnvFactory,
     agents: Sequence[str],
@@ -137,6 +190,8 @@ def run_lottery_sweep(
     n_samples: int = 200,
     seed: int = 0,
     collect_dataset: bool = False,
+    workers: int = 1,
+    cache: Optional[bool] = None,
 ) -> SweepReport:
     """Run the hyperparameter-lottery experiment.
 
@@ -145,6 +200,8 @@ def run_lottery_sweep(
     env_factory:
         Builds a fresh environment per trial (trials must not share
         caches or datasets unless ``collect_dataset`` aggregates them).
+        Must be picklable (module-level callable / ``functools.partial``)
+        when ``workers > 1``.
     agents:
         Agent short names (see :data:`repro.agents.AGENT_NAMES`).
     n_trials:
@@ -153,30 +210,58 @@ def run_lottery_sweep(
         Cost-model queries per trial — the paper's comparison unit.
     collect_dataset:
         Aggregate every trial's trajectories into one multi-source
-        dataset (the §7 pipeline).
+        dataset (the §7 pipeline). Per-worker logs are merged in trial
+        order after the sweep, so the dataset is worker-count invariant.
+    workers:
+        Process-pool width. Every trial's hyperparameters and seeds are
+        drawn up front in serial order, so any value returns the same
+        report; ``workers=1`` runs in-process.
+    cache:
+        Design-point evaluation cache control. ``None`` (default)
+        respects each environment's own configuration — the built-in
+        environments cache by default, and a factory that passes
+        ``cache_size=0`` (e.g. the Fig. 8 time-to-completion
+        methodology) stays uncached. ``True`` force-enables so repeated
+        queries of one design skip the cost model; ``False``
+        force-disables.
     """
     if n_trials < 1 or n_samples < 1:
         raise ArchGymError("n_trials and n_samples must be >= 1")
+    validate_agent_names(agents)
     rng = np.random.default_rng(seed)
     probe = env_factory()
-    report = SweepReport(env_id=probe.env_id, n_samples=n_samples)
-    if collect_dataset:
-        report.dataset = ArchGymDataset(probe.env_id)
+    report = SweepReport(env_id=probe.env_id, n_samples=n_samples, workers=workers)
 
+    # Draw every trial's lottery ticket in the same order the serial
+    # loop always has — task outcomes then depend only on the task.
+    tasks: List[TrialTask] = []
     for agent_name in agents:
-        report.results[agent_name] = []
-        for trial in range(n_trials):
-            env = env_factory()
-            if report.dataset is not None:
-                env.attach_dataset(report.dataset)
+        for _trial in range(n_trials):
             hyperparams = sample_hyperparams(agent_name, rng)
-            agent = make_agent(
-                agent_name, env.action_space,
-                seed=int(rng.integers(2**31 - 1)), **hyperparams,
+            tasks.append(
+                TrialTask(
+                    index=len(tasks),
+                    agent=agent_name,
+                    hyperparams=hyperparams,
+                    agent_seed=int(rng.integers(2**31 - 1)),
+                    run_seed=int(rng.integers(2**31 - 1)),
+                    n_samples=n_samples,
+                    env_factory=env_factory,
+                    collect=collect_dataset,
+                    cache=cache,
+                )
             )
-            result = run_agent(
-                agent, env, n_samples=n_samples,
-                seed=int(rng.integers(2**31 - 1)),
-            )
-            report.results[agent_name].append(result)
+
+    start = time.perf_counter()
+    outcomes = execute_trials(tasks, workers=workers)
+    report.wall_time_s = time.perf_counter() - start
+
+    report.results = {a: [] for a in agents}
+    for outcome in outcomes:
+        report.results[outcome.agent].append(outcome.result)
+    if collect_dataset:
+        report.dataset = ArchGymDataset.merge_all(
+            [ArchGymDataset(o.env_id, o.transitions) for o in outcomes],
+            env_id=probe.env_id,
+        )
     return report

@@ -9,13 +9,21 @@ and compares agents under sample budgets by *mean normalized reward*
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 
 from repro.core.errors import ArchGymError
 
-__all__ = ["iqr", "spread_percent", "normalize_scores", "FiveNumberSummary"]
+__all__ = ["iqr", "spread_percent", "normalize_scores", "hit_rate", "FiveNumberSummary"]
+
+
+def hit_rate(hits: int, misses: int) -> float:
+    """Cache hit rate in [0, 1]; 0.0 for an unused cache."""
+    if hits < 0 or misses < 0:
+        raise ArchGymError(f"negative cache counters ({hits}h/{misses}m)")
+    total = hits + misses
+    return hits / total if total else 0.0
 
 
 def iqr(values: Sequence[float]) -> float:

@@ -28,7 +28,7 @@ the lowest energy-delay product.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Sequence
 
 import numpy as np
 
@@ -192,7 +192,7 @@ class TimeloopModel:
         energy = 0.0
         feasible = True
         utilization = 0.0
-        total_macs = sum(l.macs * l.repeat for l in layers)
+        total_macs = sum(layer.macs * layer.repeat for layer in layers)
         for layer in layers:
             cost = self.evaluate_layer(arch, layer)
             feasible &= cost.feasible

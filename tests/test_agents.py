@@ -15,7 +15,6 @@ from repro.agents import (
     HYPERPARAM_GRIDS,
     RandomWalkerAgent,
     RLAgent,
-    SearchResult,
     iter_hyperparams,
     make_agent,
     make_gamma_variant,

@@ -19,7 +19,7 @@ from repro.dramsys import (
     controller_space,
     generate_trace,
 )
-from repro.dramsys.traces import TRACE_NAMES, MemoryRequest
+from repro.dramsys.traces import TRACE_NAMES
 
 
 class TestDevice:

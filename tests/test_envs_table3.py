@@ -54,22 +54,24 @@ class TestDRAMGym:
 
     def test_cache_dedupes_evaluations(self):
         env = DRAMGymEnv(workload="stream", n_requests=100)
+        assert env.cache_enabled  # on by default for deterministic sims
         env.reset(seed=0)
         action = env.random_action()
         env.step(action)
         env.reset()
         env.step(action)
-        assert env._cache.hits == 1
-        assert env._cache.misses == 1
+        assert env.stats.cache_hits == 1
+        assert env.stats.cache_misses == 1
 
     def test_cache_disabled(self):
         env = DRAMGymEnv(workload="stream", n_requests=50, cache_size=0)
+        assert not env.cache_enabled
         env.reset(seed=0)
         action = env.random_action()
         env.step(action)
         env.reset()
         env.step(action)
-        assert env._cache.hits == 0
+        assert env.stats.cache_hits == 0
 
     def test_power_reward_prefers_1w(self):
         env = DRAMGymEnv(workload="pointer_chase", objective="power",

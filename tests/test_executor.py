@@ -1,0 +1,390 @@
+"""Tests for the parallel sweep executor and the evaluation cache.
+
+The two load-bearing guarantees of the execution engine:
+
+1. **Worker invariance** — ``run_lottery_sweep`` returns bit-identical
+   reports (fitness distributions, hyperparameters, datasets) for any
+   ``workers`` count, because every trial's seeds are drawn up front in
+   serial order.
+2. **Cache exactness** — the design-point cache answers repeated
+   queries without touching the cost model, with exact hit/miss
+   accounting, and never changes any result.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import ArchGymDataset, Transition
+from repro.core.env import ArchGymEnv, canonical_action_key
+from repro.core.errors import ArchGymError, ExecutorError
+from repro.core.rewards import TargetReward
+from repro.core.spaces import Categorical, CompositeSpace, Discrete
+from repro.sweeps import TrialTask, execute_trials, run_lottery_sweep
+from repro.sweeps.executor import run_trial
+
+
+class CountingEnv(ArchGymEnv):
+    """16-point space; counts real cost-model invocations."""
+
+    env_id = "Counting-v0"
+
+    def __init__(self):
+        super().__init__(
+            action_space=CompositeSpace(
+                [Discrete("x", 0, 7, 1), Categorical("m", ("a", "b"))]
+            ),
+            observation_metrics=["cost"],
+            reward_spec=TargetReward("cost", target=1.0),
+            episode_length=10_000,
+        )
+        self.evaluations = 0
+
+    def evaluate(self, action):
+        self.evaluations += 1
+        return {"cost": 1.0 + abs(action["x"] - 5) + (action["m"] == "a")}
+
+
+class SlowEnv(CountingEnv):
+    """Same model, but every real evaluation pays a simulator delay."""
+
+    env_id = "Slow-v0"
+    DELAY_S = 0.004
+
+    def evaluate(self, action):
+        time.sleep(self.DELAY_S)
+        return super().evaluate(action)
+
+
+class CallCountingFactory:
+    """Env factory that records how many environments were built."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        return CountingEnv()
+
+
+class TestCanonicalActionKey:
+    def test_order_insensitive(self):
+        assert canonical_action_key({"a": 1, "b": 2}) == canonical_action_key(
+            {"b": 2, "a": 1}
+        )
+
+    def test_numpy_scalars_unwrapped(self):
+        assert canonical_action_key({"x": np.int64(4)}) == canonical_action_key(
+            {"x": 4}
+        )
+
+    def test_distinct_designs_distinct_keys(self):
+        assert canonical_action_key({"x": 1}) != canonical_action_key({"x": 2})
+
+    def test_sequence_values_hashable(self):
+        key = canonical_action_key({"perm": [1, 2, 3]})
+        assert hash(key) == hash(canonical_action_key({"perm": (1, 2, 3)}))
+
+    def test_ndarray_and_nested_values_hashable(self):
+        key = canonical_action_key({"w": np.array([1, 2]), "n": [[1], [2]]})
+        assert hash(key) == hash(
+            canonical_action_key({"w": [1, 2], "n": ((1,), (2,))})
+        )
+
+
+class TestEvaluationCache:
+    def test_replayed_trajectory_exact_counters(self):
+        env = CountingEnv()
+        env.enable_cache()
+        rng = np.random.default_rng(0)
+        trajectory = [env.action_space.sample(rng) for _ in range(25)]
+        distinct = len({canonical_action_key(a) for a in trajectory})
+
+        env.reset(seed=0)
+        first = [env.step(a)[0].copy() for a in trajectory]
+        assert env.stats.cache_misses == distinct
+        assert env.stats.cache_hits == len(trajectory) - distinct
+        assert env.evaluations == distinct
+
+        # full replay: every step is a hit, the cost model never runs
+        replay = [env.step(a)[0].copy() for a in trajectory]
+        assert env.stats.cache_hits == 2 * len(trajectory) - distinct
+        assert env.stats.cache_misses == distinct
+        assert env.evaluations == distinct
+        for obs_a, obs_b in zip(first, replay):
+            assert np.array_equal(obs_a, obs_b)
+
+    def test_cache_disabled_by_default(self):
+        env = CountingEnv()
+        env.reset(seed=0)
+        action = {"x": 3, "m": "a"}
+        env.step(action)
+        env.step(action)
+        assert env.evaluations == 2
+        assert env.stats.cache_hits == 0 and env.stats.cache_misses == 0
+
+    def test_clear_and_disable(self):
+        env = CountingEnv()
+        env.enable_cache()
+        env.reset(seed=0)
+        env.step({"x": 3, "m": "a"})
+        assert env.cache_info()["size"] == 1
+        env.clear_cache()
+        assert env.cache_info()["size"] == 0
+        assert env.cache_enabled
+        env.disable_cache()
+        assert not env.cache_enabled
+
+    def test_cached_steps_still_logged(self):
+        env = CountingEnv()
+        env.enable_cache()
+        dataset = ArchGymDataset()
+        env.attach_dataset(dataset)
+        env.reset(seed=0)
+        env.step({"x": 3, "m": "a"})
+        env.step({"x": 3, "m": "a"})
+        assert len(dataset) == 2  # the hit is still a real agent step
+
+    def test_cache_does_not_change_results(self):
+        kw = dict(agents=("rw", "ga"), n_trials=2, n_samples=30, seed=3)
+        plain = run_lottery_sweep(CountingEnv, cache=False, **kw)
+        cached = run_lottery_sweep(CountingEnv, cache=True, **kw)
+        for agent in kw["agents"]:
+            assert plain.fitness_distribution(agent) == cached.fitness_distribution(
+                agent
+            )
+        assert plain.cache_hits == 0
+        assert cached.cache_hits > 0
+
+    def test_cached_sweep_is_faster(self):
+        """The acceptance benchmark: on a small design space the cache
+        skips most simulator calls, beating the uncached serial path."""
+        kw = dict(agents=("rw", "ga"), n_trials=2, n_samples=60, seed=0)
+        t0 = time.perf_counter()
+        plain = run_lottery_sweep(SlowEnv, cache=False, **kw)
+        t_plain = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        cached = run_lottery_sweep(SlowEnv, cache=True, **kw)
+        t_cached = time.perf_counter() - t0
+
+        # every trial revisits designs: 60 samples over a 16-point space
+        assert cached.cache_hits >= 4 * (60 - 16)
+        assert cached.sim_time_s < plain.sim_time_s
+        assert t_cached < t_plain * 0.8, (
+            f"cached sweep {t_cached:.3f}s not faster than uncached {t_plain:.3f}s"
+        )
+
+
+class TestCacheBound:
+    def test_lru_eviction(self):
+        env = CountingEnv()
+        env.enable_cache(maxsize=2)
+        env.reset(seed=0)
+        a1, a2, a3 = ({"x": i, "m": "a"} for i in (1, 2, 3))
+        env.step(a1)
+        env.step(a2)
+        env.step(a3)  # evicts a1
+        assert env.cache_info()["size"] == 2
+        env.step(a1)  # re-simulated, not served stale
+        assert env.evaluations == 4
+        assert env.stats.cache_hits == 0
+
+    def test_nonpositive_maxsize_is_noop(self):
+        env = CountingEnv()
+        env.enable_cache(maxsize=0)
+        assert not env.cache_enabled
+
+
+class TestBuiltinEnvSingleCacheLayer:
+    """The envs' old inner ``EvaluationCache`` was folded into the base
+    class: counters must reflect *actual* simulator runs, and
+    ``cache=False`` must really pay the simulator."""
+
+    def test_builtin_env_counters_are_exact(self):
+        from repro.envs.dram import DRAMGymEnv
+
+        env = DRAMGymEnv(workload="stream", n_requests=50)
+        env.reset(seed=0)
+        action = env.random_action()
+        env.step(action)
+        sim_time_after_first = env.stats.total_sim_time
+        env.reset()
+        env.step(action)
+        assert env.stats.cache_hits == 1 and env.stats.cache_misses == 1
+        assert env.stats.total_sim_time == sim_time_after_first
+
+    def test_no_cache_trial_disables_builtin_memo(self):
+        import functools
+
+        from repro.envs.maestro_env import MaestroGymEnv
+
+        factory = functools.partial(MaestroGymEnv, workload="resnet18")
+        task = TrialTask(
+            index=0, agent="rw", hyperparams={"locality": 0.0},
+            agent_seed=1, run_seed=1, n_samples=8,
+            env_factory=factory, cache=False,
+        )
+        res = run_trial(task).result
+        assert res.cache_hits == 0 and res.cache_misses == 0
+
+    def test_factory_cache_opt_out_respected_by_default(self):
+        """A factory passing cache_size=0 (the Fig. 8 methodology) must
+        stay uncached unless the caller forces cache=True."""
+        import functools
+
+        from repro.envs.maestro_env import MaestroGymEnv
+
+        factory = functools.partial(MaestroGymEnv, cache_size=0)
+        task = TrialTask(
+            index=0, agent="rw", hyperparams={"locality": 0.0},
+            agent_seed=1, run_seed=1, n_samples=8, env_factory=factory,
+        )
+        res = run_trial(task).result
+        assert res.cache_hits == 0 and res.cache_misses == 0
+
+    def test_custom_cache_size_survives_executor(self):
+        from repro.envs.maestro_env import MaestroGymEnv
+
+        built = []
+
+        def factory():
+            built.append(MaestroGymEnv(cache_size=10_000))
+            return built[-1]
+
+        task = TrialTask(
+            index=0, agent="rw", hyperparams={"locality": 0.0},
+            agent_seed=1, run_seed=1, n_samples=4,
+            env_factory=factory, cache=True,
+        )
+        run_trial(task)
+        assert built[0]._eval_cache_maxsize == 10_000  # not shrunk to default
+
+
+class TestExecutor:
+    def _tasks(self, n=4, collect=False, factory=CountingEnv):
+        return [
+            TrialTask(
+                index=i, agent="rw", hyperparams={"locality": 0.2},
+                agent_seed=100 + i, run_seed=200 + i, n_samples=10,
+                env_factory=factory, collect=collect, cache=True,
+            )
+            for i in range(n)
+        ]
+
+    def test_empty_tasks(self):
+        assert execute_trials([], workers=2) == []
+
+    def test_bad_worker_count(self):
+        with pytest.raises(ExecutorError):
+            execute_trials(self._tasks(), workers=0)
+
+    def test_unpicklable_factory_fails_fast(self):
+        tasks = self._tasks(factory=lambda: CountingEnv())
+        with pytest.raises(ExecutorError, match="pickl"):
+            execute_trials(tasks, workers=2)
+        # the in-process path has no pickling requirement
+        outcomes = execute_trials(tasks, workers=1)
+        assert len(outcomes) == len(tasks)
+
+    def test_outcomes_ordered_and_tagged(self):
+        outcomes = execute_trials(self._tasks(n=5, collect=True), workers=2)
+        assert [o.index for o in outcomes] == list(range(5))
+        assert all(o.env_id == "Counting-v0" for o in outcomes)
+        assert all(len(o.transitions) == 10 for o in outcomes)
+        assert all(isinstance(o.transitions[0], Transition) for o in outcomes)
+
+    def test_run_trial_is_self_contained(self):
+        task = self._tasks(n=1, collect=True)[0]
+        a = run_trial(task)
+        b = run_trial(task)
+        assert a.result.best_fitness == b.result.best_fitness
+        assert [t.to_record() for t in a.transitions] == [
+            t.to_record() for t in b.transitions
+        ]
+
+    def test_search_result_carries_env_accounting(self):
+        outcome = run_trial(self._tasks(n=1)[0])
+        res = outcome.result
+        assert res.cache_hits + res.cache_misses == res.n_samples
+        assert res.sim_time_s >= 0.0
+
+
+class TestParallelSweep:
+    KW = dict(agents=("rw", "ga"), n_trials=2, n_samples=15, seed=9)
+
+    def test_workers_1_vs_4_identical_distributions(self):
+        serial = run_lottery_sweep(CountingEnv, workers=1, **self.KW)
+        parallel = run_lottery_sweep(CountingEnv, workers=4, **self.KW)
+        for agent in self.KW["agents"]:
+            assert serial.fitness_distribution(agent) == parallel.fitness_distribution(
+                agent
+            )
+            assert [r.hyperparameters for r in serial.results[agent]] == [
+                r.hyperparameters for r in parallel.results[agent]
+            ]
+            assert [r.best_action for r in serial.results[agent]] == [
+                r.best_action for r in parallel.results[agent]
+            ]
+        assert serial.cache_hits == parallel.cache_hits
+        assert serial.cache_misses == parallel.cache_misses
+
+    def test_dataset_worker_invariant(self):
+        serial = run_lottery_sweep(
+            CountingEnv, workers=1, collect_dataset=True, **self.KW
+        )
+        parallel = run_lottery_sweep(
+            CountingEnv, workers=3, collect_dataset=True, **self.KW
+        )
+        assert serial.dataset is not None and parallel.dataset is not None
+        assert [t.to_record() for t in serial.dataset] == [
+            t.to_record() for t in parallel.dataset
+        ]
+        assert serial.dataset.sources == parallel.dataset.sources
+
+    def test_report_records_execution_metadata(self):
+        report = run_lottery_sweep(CountingEnv, workers=2, cache=True, **self.KW)
+        assert report.workers == 2
+        assert report.wall_time_s > 0.0
+        assert "eval cache" in report.print_table()
+
+
+class TestFailFastValidation:
+    def test_unknown_agent_rejected_before_any_trial(self):
+        factory = CallCountingFactory()
+        with pytest.raises(ArchGymError, match="nope"):
+            run_lottery_sweep(
+                factory, agents=("rw", "ga", "nope"), n_trials=2, n_samples=10
+            )
+        assert factory.calls == 0  # no environment was even built
+
+    def test_empty_agents_rejected(self):
+        with pytest.raises(ArchGymError, match="at least one"):
+            run_lottery_sweep(CountingEnv, agents=(), n_trials=1, n_samples=5)
+
+    def test_valid_agents_accepted(self):
+        report = run_lottery_sweep(
+            CountingEnv, agents=("gamma",), n_trials=1, n_samples=8
+        )
+        assert len(report.results["gamma"]) == 1
+
+
+class TestDatasetMergeHelpers:
+    def test_renumber_steps(self):
+        ds = ArchGymDataset(
+            "Counting-v0",
+            [
+                Transition(action={"x": i}, metrics={"c": 1.0}, reward=0.0, step=1)
+                for i in range(4)
+            ],
+        )
+        ds.renumber_steps()
+        assert [t.step for t in ds] == [1, 2, 3, 4]
+
+    def test_merge_all_empty_with_env_id(self):
+        merged = ArchGymDataset.merge_all([], env_id="Counting-v0")
+        assert len(merged) == 0 and merged.env_id == "Counting-v0"
+
+    def test_merge_all_empty_without_env_id_raises(self):
+        with pytest.raises(ArchGymError):
+            ArchGymDataset.merge_all([])

@@ -96,7 +96,7 @@ class TestModel:
     def test_throughput_consistent_with_runtime(self):
         layers = get_workload("resnet18")
         m = self.model.evaluate_network(Mapping(), layers)
-        total_macs = sum(l.macs * l.repeat for l in layers)
+        total_macs = sum(layer.macs * layer.repeat for layer in layers)
         assert m["throughput"] == pytest.approx(
             total_macs / (m["runtime"] * 1e6), rel=1e-9
         )
@@ -194,6 +194,6 @@ def test_prop_network_cost_sums_layers(action):
     model = MaestroModel()
     layers = get_workload("resnet18")
     net = model.evaluate_network(mapping, layers)
-    per_layer = [model.evaluate_layer(mapping, l) for l in layers]
+    per_layer = [model.evaluate_layer(mapping, layer) for layer in layers]
     expected = sum(c.runtime_ms * l.repeat for c, l in zip(per_layer, layers))
     assert net["runtime"] == pytest.approx(expected, rel=1e-9)

@@ -1,6 +1,5 @@
 """Unit + integration tests for the sweep harness and statistics."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -11,7 +10,6 @@ from repro.core.rewards import TargetReward
 from repro.core.spaces import Categorical, CompositeSpace, Discrete
 from repro.sweeps import (
     FiveNumberSummary,
-    SweepReport,
     iqr,
     normalize_scores,
     run_lottery_sweep,

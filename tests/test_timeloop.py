@@ -48,12 +48,12 @@ class TestLayers:
             ConvLayer("l", K=0, C=1, R=1, S=1, P=1, Q=1)
 
     def test_vgg16_macs_order_of_magnitude(self):
-        total = sum(l.macs * l.repeat for l in get_workload("vgg16"))
+        total = sum(layer.macs * layer.repeat for layer in get_workload("vgg16"))
         # VGG16 convs are ~15.3 GMACs
         assert 0.8e10 < total < 2.5e10
 
     def test_resnet18_macs_order_of_magnitude(self):
-        total = sum(l.macs * l.repeat for l in get_workload("resnet18"))
+        total = sum(layer.macs * layer.repeat for layer in get_workload("resnet18"))
         # ResNet18 is ~1.8 GMACs
         assert 0.8e9 < total < 4e9
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.errors import SimulationError
 from repro.dramsys import DramDevice, Trace, generate_trace
-from repro.dramsys.trace_stats import TraceProfile, profile_trace
+from repro.dramsys.trace_stats import profile_trace
 
 
 class TestProfileTrace:

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Offline approximation of ruff's F401 (unused import) check.
+
+The dev container has no network and no vendored ruff, so CI's lint job
+can't be reproduced bit-for-bit locally. This AST-level checker covers
+the highest-signal subset: module-level imports that are never
+referenced by name anywhere in the file. ``# noqa`` on the import line
+suppresses a finding, and ``from __future__`` imports are exempt.
+
+Usage: ``python tools/check_unused_imports.py [root ...]``
+Exits non-zero if any unused import is found.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+DEFAULT_ROOTS = ("src", "tests", "benchmarks", "examples", "tools")
+
+
+def imported_names(tree: ast.AST):
+    """Yield ``(bound_name, lineno)`` for every import binding."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield (alias.asname or alias.name).split(".")[0], node.lineno
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name != "*":
+                    yield alias.asname or alias.name, node.lineno
+
+
+def used_names(tree: ast.AST):
+    """Every name referenced plus every string literal (covers __all__)."""
+    used = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            used.add(node.value)
+    return used
+
+
+def check_file(path: pathlib.Path) -> int:
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    lines = source.splitlines()
+    used = used_names(tree)
+    findings = 0
+    for name, lineno in imported_names(tree):
+        if "noqa" in lines[lineno - 1]:
+            continue
+        if name not in used:
+            print(f"{path}:{lineno}: unused import {name!r}")
+            findings += 1
+    return findings
+
+
+def main(argv) -> int:
+    roots = argv or [r for r in DEFAULT_ROOTS if pathlib.Path(r).is_dir()]
+    findings = 0
+    for root in roots:
+        for path in sorted(pathlib.Path(root).rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            findings += check_file(path)
+    if findings:
+        print(f"{findings} unused import(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
