@@ -31,6 +31,19 @@ from repro.core.spaces import CompositeSpace
 __all__ = ["Agent", "SearchResult", "run_agent"]
 
 
+def _jsonify(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays to JSON-native values."""
+    if isinstance(value, np.ndarray):
+        return [_jsonify(v) for v in value.tolist()]
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {k: _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return value
+
+
 class Agent:
     """Base class for all search agents.
 
@@ -94,6 +107,7 @@ class SearchResult:
     sim_time_s: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    shared_cache_hits: int = 0
 
     def fitness_at(self, n: int) -> float:
         """Best fitness after the first ``n`` samples (sample-budget view,
@@ -102,6 +116,53 @@ class SearchResult:
             raise AgentError("sample budget must be >= 1")
         idx = min(n, len(self.best_fitness_history)) - 1
         return self.best_fitness_history[idx]
+
+    def to_record(self) -> Dict[str, Any]:
+        """A JSON-serializable representation (the sweep-shard format).
+
+        Floats survive ``json`` round-trips exactly, so a result loaded
+        back with :meth:`from_record` compares equal on every
+        deterministic field.
+        """
+        return {
+            "agent": self.agent,
+            "hyperparameters": _jsonify(self.hyperparameters),
+            "n_samples": int(self.n_samples),
+            "best_action": _jsonify(self.best_action),
+            "best_fitness": float(self.best_fitness),
+            "best_reward": float(self.best_reward),
+            "best_metrics": {k: float(v) for k, v in self.best_metrics.items()},
+            "reward_history": [float(r) for r in self.reward_history],
+            "best_fitness_history": [float(f) for f in self.best_fitness_history],
+            "target_met": bool(self.target_met),
+            "wall_time_s": float(self.wall_time_s),
+            "sim_time_s": float(self.sim_time_s),
+            "cache_hits": int(self.cache_hits),
+            "cache_misses": int(self.cache_misses),
+            "shared_cache_hits": int(self.shared_cache_hits),
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "SearchResult":
+        return cls(
+            agent=str(record["agent"]),
+            hyperparameters=dict(record["hyperparameters"]),
+            n_samples=int(record["n_samples"]),
+            best_action=dict(record["best_action"]),
+            best_fitness=float(record["best_fitness"]),
+            best_reward=float(record["best_reward"]),
+            best_metrics={k: float(v) for k, v in record["best_metrics"].items()},
+            reward_history=[float(r) for r in record.get("reward_history", [])],
+            best_fitness_history=[
+                float(f) for f in record.get("best_fitness_history", [])
+            ],
+            target_met=bool(record.get("target_met", False)),
+            wall_time_s=float(record.get("wall_time_s", 0.0)),
+            sim_time_s=float(record.get("sim_time_s", 0.0)),
+            cache_hits=int(record.get("cache_hits", 0)),
+            cache_misses=int(record.get("cache_misses", 0)),
+            shared_cache_hits=int(record.get("shared_cache_hits", 0)),
+        )
 
 
 def run_agent(
@@ -129,6 +190,7 @@ def run_agent(
     sim_time_0 = env.stats.total_sim_time
     hits_0 = env.stats.cache_hits
     misses_0 = env.stats.cache_misses
+    shared_0 = env.stats.shared_cache_hits
 
     start = time.perf_counter()
     env.reset(seed=seed)
@@ -174,4 +236,5 @@ def run_agent(
         sim_time_s=env.stats.total_sim_time - sim_time_0,
         cache_hits=env.stats.cache_hits - hits_0,
         cache_misses=env.stats.cache_misses - misses_0,
+        shared_cache_hits=env.stats.shared_cache_hits - shared_0,
     )

@@ -18,7 +18,11 @@ Commands
 ``sweep`` and ``collect`` accept ``--workers N`` to fan trials out over
 a process pool (results are bit-identical for any worker count) and
 ``--no-cache`` to disable the per-environment design-point evaluation
-cache.
+cache. ``--out-dir DIR`` streams every finished trial to disk as an
+atomic shard (killed runs keep their progress), ``--resume`` re-enters
+such a directory and runs only the missing trials, and
+``--shared-cache`` adds a cross-process design-point cache under the
+out-dir so concurrent trials reuse each other's evaluations.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 import repro
@@ -59,6 +64,16 @@ class RegistryEnvFactory:
 
     def __call__(self) -> repro.ArchGymEnv:
         return repro.make(self.env_id, **self.kwargs)
+
+    @property
+    def fingerprint_signature(self) -> str:
+        """Folds the construction kwargs (workload, objective, …) into
+        the durable-sweep fingerprint — same env_id with a different
+        workload is a different experiment and must not resume-merge."""
+        return json.dumps(
+            {"env_id": self.env_id, "kwargs": self.kwargs},
+            sort_keys=True, default=str,
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -96,6 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "bit-identical for any worker count")
     sweep_p.add_argument("--no-cache", action="store_true",
                          help="disable the design-point evaluation cache")
+    _add_durability_args(sweep_p)
     sweep_p.add_argument("--boxplots", action="store_true",
                          help="render per-agent distribution box plots")
     sweep_p.add_argument("--export", default=None,
@@ -112,8 +128,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="process-pool width (one task per agent)")
     col_p.add_argument("--no-cache", action="store_true",
                        help="disable the design-point evaluation cache")
+    _add_durability_args(col_p)
     col_p.add_argument("--out", required=True, help="output JSONL path")
     return parser
+
+
+def _add_durability_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--out-dir", default=None,
+                        help="stream per-trial result shards into this "
+                             "directory (atomic writes; killed runs keep "
+                             "their progress)")
+    parser.add_argument("--resume", action="store_true",
+                        help="with --out-dir: skip trials whose shard is "
+                             "already on disk and run only the remainder")
+    parser.add_argument("--shared-cache", action="store_true",
+                        help="with --out-dir: share design-point "
+                             "evaluations across trials/processes via a "
+                             "file-backed cache under the out-dir")
 
 
 def _env_kwargs(args: argparse.Namespace) -> dict:
@@ -167,6 +198,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         agents=agents, n_trials=args.trials,
         n_samples=args.samples, seed=args.seed,
         workers=args.workers, cache=False if args.no_cache else None,
+        out_dir=args.out_dir, resume=args.resume,
+        shared_cache=args.shared_cache,
     )
     print(report.print_table(boxplots=args.boxplots))
     if args.export:
@@ -181,19 +214,52 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_collect(args: argparse.Namespace) -> int:
+    from repro.core.errors import ArchGymError
+
     agents = tuple(a.strip() for a in args.agents.split(",") if a.strip())
     validate_agent_names(agents)
+    if (args.resume or args.shared_cache) and not args.out_dir:
+        raise ArchGymError("--resume and --shared-cache require --out-dir")
     factory = RegistryEnvFactory(args.env, **_env_kwargs(args))
+    shared_cache_dir = (
+        str(Path(args.out_dir) / "shared-cache") if args.shared_cache else None
+    )
     tasks = [
         TrialTask(
             index=i, agent=name, hyperparams={},
             agent_seed=args.seed, run_seed=args.seed,
             n_samples=args.samples, env_factory=factory,
             collect=True, cache=False if args.no_cache else None,
+            shared_cache_dir=shared_cache_dir,
         )
         for i, name in enumerate(agents)
     ]
-    outcomes = execute_trials(tasks, workers=args.workers)
+    if args.out_dir:
+        from repro.sweeps.shards import execute_durable, sweep_fingerprint
+
+        probe = factory()
+        try:
+            env_id = probe.env_id
+        finally:
+            probe.close()
+        fingerprint = sweep_fingerprint(
+            kind="collect", env_id=env_id,
+            env_signature=factory.fingerprint_signature,
+            agents=list(agents), n_samples=args.samples, seed=args.seed,
+        )
+        manifest = {
+            "fingerprint": fingerprint, "kind": "collect", "env_id": env_id,
+            "env_signature": factory.fingerprint_signature,
+            "agents": list(agents), "n_trials": 1, "n_samples": args.samples,
+            "seed": args.seed, "collect": True, "n_tasks": len(tasks),
+            "workers": args.workers,
+        }
+        outcomes = execute_durable(
+            tasks, args.out_dir, manifest, workers=args.workers,
+            resume=args.resume, keep_outcomes=True,
+        )
+    else:
+        outcomes = execute_trials(tasks, workers=args.workers)
     dataset = ArchGymDataset.merge_all(
         [ArchGymDataset(o.env_id, o.transitions) for o in outcomes]
     )

@@ -1,16 +1,19 @@
 """Core gym infrastructure: spaces, environments, rewards, datasets."""
 
+from repro.core.cache_store import SharedCacheStore
 from repro.core.dataset import ArchGymDataset, Transition
 from repro.core.env import ArchGymEnv, EnvStats, canonical_action_key
 from repro.core.errors import (
     AgentError,
     ArchGymError,
+    CacheStoreError,
     DatasetError,
     EnvironmentError_,
     ExecutorError,
     InvalidActionError,
     ProxyModelError,
     RegistryError,
+    ShardError,
     SimulationError,
     SpaceError,
 )
@@ -35,11 +38,14 @@ __all__ = [
     "Transition",
     "ArchGymEnv",
     "EnvStats",
+    "SharedCacheStore",
     "canonical_action_key",
     "ArchGymError",
     "AgentError",
+    "CacheStoreError",
     "DatasetError",
     "ExecutorError",
+    "ShardError",
     "EnvironmentError_",
     "InvalidActionError",
     "ProxyModelError",

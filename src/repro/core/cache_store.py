@@ -1,0 +1,186 @@
+"""Cross-process shared evaluation cache (file-backed, lock-free).
+
+The in-memory LRU inside :class:`~repro.core.env.ArchGymEnv` dies with
+its environment, so concurrent trials of one sweep re-simulate each
+other's design points — the exact waste the paper's "evaluation is the
+bottleneck" argument targets. :class:`SharedCacheStore` is a second
+cache tier that outlives any single environment or process: a
+directory of append-only JSONL shard files keyed on
+:func:`~repro.core.env.canonical_action_key`.
+
+Design constraints, in order:
+
+- **Lock-free.** Writers append one complete JSON line per entry via a
+  single ``os.write`` on an ``O_APPEND`` descriptor (atomic on POSIX
+  for our line sizes), so concurrent writers never interleave bytes.
+  Readers tail the shard file from their last-seen offset and simply
+  ignore a trailing line that has no newline yet.
+- **Sharded.** Entries spread over ``n_shards`` files by key hash, so
+  concurrent writers mostly touch different files and a refresh only
+  re-reads the shard a key lives in.
+- **Deterministic.** The store memoizes a *deterministic* cost model,
+  so duplicate entries for one key (two processes racing on the same
+  miss) are harmless — every copy carries the same metrics, and
+  floats survive the JSON round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.errors import CacheStoreError
+
+__all__ = ["SharedCacheStore", "encode_key"]
+
+ActionKey = Tuple[Tuple[str, Any], ...]
+
+_FORMAT = "archgym-cache-v1"
+
+
+def encode_key(key: ActionKey) -> str:
+    """Stable string identity for a canonical action key.
+
+    The key is already canonical (sorted parameter names, frozen
+    values), so its JSON encoding — tuples rendered as lists — is a
+    stable cross-process identity.
+    """
+    return json.dumps(key, separators=(",", ":"))
+
+
+class SharedCacheStore:
+    """A directory-backed ``canonical_action_key -> metrics`` map.
+
+    Parameters
+    ----------
+    directory:
+        Where the shard files live; created (with parents) on first
+        use. Any number of processes may point a store at the same
+        directory concurrently.
+    n_shards:
+        How many append-only files entries are spread over by key
+        hash. Must match across all processes sharing the directory
+        (it is recorded in, and verified against, ``cache-meta.json``).
+    """
+
+    def __init__(self, directory: str | Path, n_shards: int = 16) -> None:
+        if n_shards < 1:
+            raise CacheStoreError(f"n_shards must be >= 1, got {n_shards}")
+        self.directory = Path(directory)
+        self.n_shards = n_shards
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._check_meta()
+        # Per-shard in-process view: decoded entries + how far into the
+        # file they reach. A miss re-tails the file before giving up.
+        self._entries: List[Dict[str, Dict[str, float]]] = [
+            {} for _ in range(n_shards)
+        ]
+        self._offsets: List[int] = [0] * n_shards
+
+    # -- public API ---------------------------------------------------------------
+
+    def get(self, key: ActionKey) -> Optional[Dict[str, float]]:
+        """Metrics for ``key``, or ``None``. A local miss re-reads the
+        shard's new bytes first, so entries written by other processes
+        become visible without any coordination."""
+        key_str = encode_key(key)
+        shard = self._shard_index(key_str)
+        found = self._entries[shard].get(key_str)
+        if found is None:
+            self._refresh(shard)
+            found = self._entries[shard].get(key_str)
+        return dict(found) if found is not None else None
+
+    def put(self, key: ActionKey, metrics: Dict[str, float]) -> None:
+        """Append one entry (idempotent: a key this process already
+        holds is not re-written)."""
+        key_str = encode_key(key)
+        shard = self._shard_index(key_str)
+        if key_str in self._entries[shard]:
+            return
+        clean = {k: float(v) for k, v in metrics.items()}
+        line = (
+            json.dumps({"k": key_str, "m": clean}, separators=(",", ":")) + "\n"
+        ).encode("utf-8")
+        fd = os.open(
+            self._shard_path(shard), os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        try:
+            os.write(fd, line)  # single write on O_APPEND: atomic append
+        finally:
+            os.close(fd)
+        self._entries[shard][key_str] = clean
+
+    def __len__(self) -> int:
+        """Distinct keys currently visible (refreshes every shard)."""
+        for shard in range(self.n_shards):
+            self._refresh(shard)
+        return sum(len(e) for e in self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedCacheStore(directory={str(self.directory)!r}, "
+            f"n_shards={self.n_shards})"
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    def _shard_index(self, key_str: str) -> int:
+        digest = hashlib.sha256(key_str.encode("utf-8")).digest()
+        return int.from_bytes(digest[:4], "big") % self.n_shards
+
+    def _shard_path(self, shard: int) -> Path:
+        return self.directory / f"shard-{shard:03d}.jsonl"
+
+    def _check_meta(self) -> None:
+        meta_path = self.directory / "cache-meta.json"
+        if meta_path.exists():
+            meta = json.loads(meta_path.read_text())
+            if meta.get("format") != _FORMAT:
+                raise CacheStoreError(
+                    f"{self.directory} is not an ArchGym shared cache "
+                    f"(format {meta.get('format')!r})"
+                )
+            if meta.get("n_shards") != self.n_shards:
+                raise CacheStoreError(
+                    f"shared cache at {self.directory} uses "
+                    f"n_shards={meta.get('n_shards')}, not {self.n_shards}"
+                )
+            return
+        tmp = meta_path.with_name(f"{meta_path.name}.tmp.{os.getpid()}")
+        tmp.write_text(
+            json.dumps({"format": _FORMAT, "n_shards": self.n_shards})
+        )
+        os.replace(tmp, meta_path)  # racing processes write identical bytes
+
+    def _refresh(self, shard: int) -> None:
+        """Fold any bytes appended since the last read into the local
+        view. Only complete lines (ending in a newline) are consumed —
+        a concurrent writer's in-flight line is picked up next time."""
+        path = self._shard_path(shard)
+        try:
+            with path.open("rb") as f:
+                f.seek(self._offsets[shard])
+                chunk = f.read()
+        except FileNotFoundError:
+            return
+        if not chunk:
+            return
+        complete = chunk.rfind(b"\n") + 1
+        if complete == 0:
+            return
+        for line in chunk[:complete].splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                self._entries[shard][record["k"]] = {
+                    k: float(v) for k, v in record["m"].items()
+                }
+            except (ValueError, KeyError, TypeError):
+                # A torn/corrupt line loses one memo entry, never a result.
+                continue
+        self._offsets[shard] += complete

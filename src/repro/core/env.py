@@ -31,8 +31,9 @@ logging, episode accounting — only the ``evaluate`` call is skipped.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,6 +41,9 @@ from repro.core.dataset import ArchGymDataset, Transition
 from repro.core.errors import EnvironmentError_, InvalidActionError
 from repro.core.rewards import RewardSpec
 from repro.core.spaces import CompositeSpace
+
+if TYPE_CHECKING:  # avoid an import cycle; the store is duck-typed
+    from repro.core.cache_store import SharedCacheStore
 
 __all__ = ["ArchGymEnv", "EnvStats", "canonical_action_key"]
 
@@ -80,12 +84,16 @@ class EnvStats:
         self.total_sim_time = 0.0  # seconds spent inside the cost model
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Evaluations answered by the cross-process shared store — a
+        #: design point some *other* trial (or process) already paid for.
+        self.shared_cache_hits = 0
 
     def __repr__(self) -> str:
         return (
             f"EnvStats(steps={self.total_steps}, episodes={self.total_episodes}, "
             f"sim_time={self.total_sim_time:.3f}s, "
-            f"cache={self.cache_hits}h/{self.cache_misses}m)"
+            f"cache={self.cache_hits}h/{self.cache_misses}m"
+            f"/{self.shared_cache_hits}s)"
         )
 
 
@@ -131,6 +139,7 @@ class ArchGymEnv:
         self.stats = EnvStats()
         self._eval_cache: "Optional[OrderedDict[ActionKey, Dict[str, float]]]" = None
         self._eval_cache_maxsize = 0
+        self._shared_cache: "Optional[SharedCacheStore]" = None
         self.dataset: Optional[ArchGymDataset] = None
         self._source_tag = "unknown"
         self._rng = np.random.default_rng(0)
@@ -185,12 +194,46 @@ class ArchGymEnv:
             self._eval_cache.clear()
 
     def cache_info(self) -> Dict[str, int]:
-        """``{"hits", "misses", "size"}`` for the evaluation cache."""
+        """``{"hits", "misses", "shared_hits", "size"}`` for the
+        evaluation cache tiers."""
         return {
             "hits": self.stats.cache_hits,
             "misses": self.stats.cache_misses,
+            "shared_hits": self.stats.shared_cache_hits,
             "size": len(self._eval_cache) if self._eval_cache is not None else 0,
         }
+
+    # -- shared (cross-process) cache tier ----------------------------------------
+
+    @property
+    def shared_cache(self) -> "Optional[SharedCacheStore]":
+        return self._shared_cache
+
+    def attach_shared_cache(self, store: "SharedCacheStore") -> None:
+        """Consult ``store`` as a second cache tier behind the in-memory
+        LRU (and populate it on every simulator run).
+
+        The store outlives this environment, so concurrent trials of
+        one sweep — and resumed re-runs — reuse each other's design
+        points. Only valid for deterministic cost models, same as
+        :meth:`enable_cache`. Hits land in ``stats.shared_cache_hits``;
+        they count as neither a local hit nor a miss, so the exact
+        "misses == simulator runs" contract is preserved.
+        """
+        self._shared_cache = store
+
+    def detach_shared_cache(self) -> "Optional[SharedCacheStore]":
+        store, self._shared_cache = self._shared_cache, None
+        return store
+
+    def _remember_local(self, key: ActionKey, metrics: Dict[str, float]) -> None:
+        """Insert into the in-memory LRU (if enabled), evicting oldest."""
+        if self._eval_cache is None:
+            return
+        self._eval_cache[key] = dict(metrics)
+        self._eval_cache.move_to_end(key)
+        while len(self._eval_cache) > self._eval_cache_maxsize:
+            self._eval_cache.popitem(last=False)
 
     # -- dataset plumbing ---------------------------------------------------------
 
@@ -237,15 +280,25 @@ class ArchGymEnv:
         except Exception as exc:
             raise InvalidActionError(str(exc)) from exc
 
-        import time
-
-        key = canonical_action_key(action) if self._eval_cache is not None else None
-        cached = self._eval_cache.get(key) if key is not None else None
-        if cached is not None:
-            self.stats.cache_hits += 1
-            self._eval_cache.move_to_end(key)
-            metrics: Dict[str, float] = dict(cached)
-        else:
+        key = (
+            canonical_action_key(action)
+            if self._eval_cache is not None or self._shared_cache is not None
+            else None
+        )
+        metrics: Optional[Dict[str, float]] = None
+        if self._eval_cache is not None and key is not None:
+            cached = self._eval_cache.get(key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                self._eval_cache.move_to_end(key)
+                metrics = dict(cached)
+        if metrics is None and self._shared_cache is not None and key is not None:
+            shared = self._shared_cache.get(key)
+            if shared is not None:
+                self.stats.shared_cache_hits += 1
+                metrics = dict(shared)
+                self._remember_local(key, shared)
+        if metrics is None:
             start = time.perf_counter()
             metrics = self.evaluate(action)
             self.stats.total_sim_time += time.perf_counter() - start
@@ -257,9 +310,10 @@ class ArchGymEnv:
                 )
             if key is not None:
                 self.stats.cache_misses += 1
-                self._eval_cache[key] = {k: float(v) for k, v in metrics.items()}
-                if len(self._eval_cache) > self._eval_cache_maxsize:
-                    self._eval_cache.popitem(last=False)
+                clean = {k: float(v) for k, v in metrics.items()}
+                self._remember_local(key, clean)
+                if self._shared_cache is not None:
+                    self._shared_cache.put(key, clean)
 
         reward = self.reward_spec.compute(metrics)
         observation = np.array(

@@ -45,5 +45,14 @@ class ExecutorError(ArchGymError):
     unpicklable task, worker crash)."""
 
 
+class ShardError(ArchGymError):
+    """A sweep shard directory is missing, foreign to the requested
+    sweep (fingerprint mismatch), or inconsistent (missing shards)."""
+
+
+class CacheStoreError(ArchGymError):
+    """The shared evaluation cache store is corrupt or misconfigured."""
+
+
 class ProxyModelError(ArchGymError):
     """A proxy cost model operation (fit, predict) is invalid."""

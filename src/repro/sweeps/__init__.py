@@ -9,6 +9,16 @@ from repro.sweeps.export import (
 )
 from repro.sweeps.plots import render_boxplot, render_boxplots
 from repro.sweeps.runner import SweepReport, run_lottery_sweep, validate_agent_names
+from repro.sweeps.shards import (
+    execute_durable,
+    iter_shards,
+    load_manifest,
+    load_shard,
+    prepare_sweep_dir,
+    scan_completed,
+    sweep_fingerprint,
+    write_shard,
+)
 from repro.sweeps.stats import (
     FiveNumberSummary,
     hit_rate,
@@ -30,6 +40,14 @@ __all__ = [
     "SweepReport",
     "run_lottery_sweep",
     "validate_agent_names",
+    "execute_durable",
+    "iter_shards",
+    "load_manifest",
+    "load_shard",
+    "prepare_sweep_dir",
+    "scan_completed",
+    "sweep_fingerprint",
+    "write_shard",
     "FiveNumberSummary",
     "hit_rate",
     "iqr",

@@ -18,7 +18,7 @@ worker count yields bit-identical results.
 from __future__ import annotations
 
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -55,6 +55,20 @@ class TrialTask:
     #: and a factory passing ``cache_size=0`` has opted out on
     #: purpose); ``True`` force-enables; ``False`` force-disables.
     cache: Optional[bool] = None
+    #: Directory of a cross-process :class:`SharedCacheStore`; workers
+    #: open their own handle, so only the path crosses the pickle
+    #: boundary. ``None`` disables the shared tier.
+    shared_cache_dir: Optional[str] = None
+
+    @property
+    def source(self) -> str:
+        """Provenance tag for this trial's trajectory data.
+
+        Agent name + trial index — unique per trial even when two
+        trials of one agent draw identical hyperparameters, so the §7
+        per-source pipeline can always tell trajectories apart.
+        """
+        return f"{self.agent}/{self.index}"
 
 
 @dataclass
@@ -76,26 +90,39 @@ def run_trial(task: TrialTask) -> TrialOutcome:
     sample budget. Module-level so it pickles by reference.
     """
     env = task.env_factory()
-    if task.cache is True:
-        if not env.cache_enabled:  # keep a larger pre-configured cache
-            env.enable_cache()
-    elif task.cache is False:
-        env.disable_cache()
-    dataset: Optional[ArchGymDataset] = None
-    if task.collect:
-        dataset = ArchGymDataset(env.env_id)
-        env.attach_dataset(dataset)
-    agent = make_agent(
-        task.agent, env.action_space, seed=task.agent_seed, **task.hyperparams
-    )
-    result = run_agent(agent, env, n_samples=task.n_samples, seed=task.run_seed)
-    return TrialOutcome(
-        index=task.index,
-        agent=task.agent,
-        env_id=env.env_id,
-        result=result,
-        transitions=list(dataset) if dataset is not None else [],
-    )
+    try:
+        if task.cache is True:
+            if not env.cache_enabled:  # keep a larger pre-configured cache
+                env.enable_cache()
+        elif task.cache is False:
+            env.disable_cache()
+        if task.shared_cache_dir is not None:
+            from repro.core.cache_store import SharedCacheStore
+
+            env.attach_shared_cache(SharedCacheStore(task.shared_cache_dir))
+        dataset: Optional[ArchGymDataset] = None
+        if task.collect:
+            dataset = ArchGymDataset(env.env_id)
+            env.attach_dataset(dataset, source=task.source)
+        agent = make_agent(
+            task.agent, env.action_space, seed=task.agent_seed, **task.hyperparams
+        )
+        result = run_agent(
+            agent,
+            env,
+            n_samples=task.n_samples,
+            seed=task.run_seed,
+            source_tag=task.source if task.collect else None,
+        )
+        return TrialOutcome(
+            index=task.index,
+            agent=task.agent,
+            env_id=env.env_id,
+            result=result,
+            transitions=list(dataset) if dataset is not None else [],
+        )
+    finally:
+        env.close()
 
 
 def _check_picklable(tasks: Sequence[TrialTask]) -> None:
@@ -113,32 +140,69 @@ def _check_picklable(tasks: Sequence[TrialTask]) -> None:
 
 
 def execute_trials(
-    tasks: Sequence[TrialTask], workers: int = 1
+    tasks: Sequence[TrialTask],
+    workers: int = 1,
+    on_outcome: Optional[Callable[[TrialOutcome], None]] = None,
+    keep_outcomes: bool = True,
 ) -> List[TrialOutcome]:
     """Run every task and return outcomes sorted by ``task.index``.
 
     ``workers=1`` runs in-process (deterministic fallback, no pickling
     requirement); ``workers>1`` fans out over a process pool. Results
     are identical either way because each task carries its own seeds.
-    A worker exception cancels the remaining futures and propagates.
+
+    ``on_outcome`` is invoked in the parent as each trial finishes
+    (completion order under ``workers>1``) — the shard-streaming hook.
+    With ``keep_outcomes=False`` outcomes are dropped after the
+    callback and an empty list is returned, so an arbitrarily large
+    sweep needs only one outcome in memory at a time.
+
+    One failing trial aborts the whole batch promptly: queued futures
+    are cancelled, the pool is shut down *without* waiting for trials
+    already in flight, and the in-flight worker processes are
+    terminated — otherwise they would keep burning CPU and block
+    interpreter exit until their (possibly hour-long) trials finished.
     """
     if workers < 1:
         raise ExecutorError(f"workers must be >= 1, got {workers}")
     if not tasks:
         return []
 
+    ordered = sorted(tasks, key=lambda t: t.index)
+    outcomes: List[TrialOutcome] = []
+
     if workers == 1:
-        return sorted((run_trial(task) for task in tasks), key=lambda o: o.index)
+        for task in ordered:
+            outcome = run_trial(task)
+            if on_outcome is not None:
+                on_outcome(outcome)
+            if keep_outcomes:
+                outcomes.append(outcome)
+        return outcomes
 
     _check_picklable(tasks)
-    outcomes: List[TrialOutcome] = []
-    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-        futures = [pool.submit(run_trial, task) for task in tasks]
-        try:
-            for future in futures:
-                outcomes.append(future.result())
-        except BaseException:
-            for future in futures:
-                future.cancel()
-            raise
+    pool = ProcessPoolExecutor(max_workers=min(workers, len(tasks)))
+    completed_ok = False
+    try:
+        futures = [pool.submit(run_trial, task) for task in ordered]
+        for future in as_completed(futures):
+            outcome = future.result()
+            if on_outcome is not None:
+                on_outcome(outcome)
+            if keep_outcomes:
+                outcomes.append(outcome)
+        completed_ok = True
+    finally:
+        # Fail-fast: on error, drop the queue and return immediately
+        # instead of waiting out every already-running worker. Snapshot
+        # the workers first — shutdown() clears pool._processes.
+        workers_to_kill = (
+            [] if completed_ok
+            else list((getattr(pool, "_processes", None) or {}).values())
+        )
+        pool.shutdown(wait=completed_ok, cancel_futures=not completed_ok)
+        for proc in workers_to_kill:
+            # Kill the in-flight trials too, or concurrent.futures'
+            # exit hook would still join them at interpreter exit.
+            proc.terminate()
     return sorted(outcomes, key=lambda o: o.index)

@@ -34,6 +34,10 @@ def report_to_rows(report: SweepReport) -> List[Dict[str, Any]]:
                     "best_reward": res.best_reward,
                     "target_met": res.target_met,
                     "wall_time_s": res.wall_time_s,
+                    "sim_time_s": res.sim_time_s,
+                    "cache_hits": res.cache_hits,
+                    "cache_misses": res.cache_misses,
+                    "shared_cache_hits": res.shared_cache_hits,
                     "hyperparameters": dict(res.hyperparameters),
                     "best_action": dict(res.best_action),
                     "best_metrics": dict(res.best_metrics),
@@ -68,7 +72,8 @@ def save_report_csv(report: SweepReport, path: str | Path) -> None:
     rows = report_to_rows(report)
     fieldnames = [
         "env_id", "agent", "trial", "n_samples", "best_fitness",
-        "best_reward", "target_met", "wall_time_s",
+        "best_reward", "target_met", "wall_time_s", "sim_time_s",
+        "cache_hits", "cache_misses", "shared_cache_hits",
         "hyperparameters", "best_action", "best_metrics",
     ]
     with Path(path).open("w", newline="") as f:

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -64,9 +65,50 @@ class SweepReport:
         return sum(r.cache_misses for rs in self.results.values() for r in rs)
 
     @property
+    def shared_cache_hits(self) -> int:
+        """Evaluations answered by the cross-process shared store —
+        design points some other trial of this sweep already paid for."""
+        return sum(r.shared_cache_hits for rs in self.results.values() for r in rs)
+
+    @property
     def sim_time_s(self) -> float:
         """Total seconds spent inside cost models across all trials."""
         return sum(r.sim_time_s for rs in self.results.values() for r in rs)
+
+    @classmethod
+    def from_shards(
+        cls, out_dir: Union[str, Path], allow_partial: bool = False
+    ) -> "SweepReport":
+        """Rebuild a report from a shard directory (see
+        :mod:`repro.sweeps.shards`).
+
+        Shards are loaded one at a time in trial order, so peak memory
+        is one trial plus the report itself. By default every trial
+        recorded in the manifest must be present; ``allow_partial=True``
+        loads whatever finished (e.g. to inspect a killed sweep).
+        """
+        from repro.sweeps.shards import iter_shards, load_manifest, load_outcomes
+
+        manifest = load_manifest(out_dir)
+        report = cls(
+            env_id=manifest["env_id"],
+            n_samples=int(manifest["n_samples"]),
+            workers=int(manifest.get("workers", 1)),
+        )
+        report.results = {a: [] for a in manifest["agents"]}
+        collect = bool(manifest.get("collect", False))
+        if collect:
+            report.dataset = ArchGymDataset(manifest["env_id"])
+        outcomes = (
+            iter_shards(out_dir)
+            if allow_partial
+            else load_outcomes(out_dir, expected=int(manifest["n_tasks"]))
+        )
+        for outcome in outcomes:
+            report.results.setdefault(outcome.agent, []).append(outcome.result)
+            if collect and report.dataset is not None:
+                report.dataset.extend(outcome.transitions)
+        return report
 
     # -- lottery analytics ------------------------------------------------------------
 
@@ -157,6 +199,10 @@ class SweepReport:
                 f"misses ({100 * hit_rate(self.cache_hits, self.cache_misses):.1f}% "
                 f"hit rate, sim time {self.sim_time_s:.3f}s)"
             )
+        if self.shared_cache_hits:
+            lines.append(
+                f"shared cache: {self.shared_cache_hits} cross-trial hits"
+            )
         if boxplots:
             from repro.sweeps.plots import render_boxplots
 
@@ -181,6 +227,14 @@ def validate_agent_names(agents: Sequence[str]) -> None:
         raise ArchGymError(
             f"unknown agent(s) {unknown}; valid: {sorted(HYPERPARAM_GRIDS)}"
         )
+    duplicates = sorted({a for a in agents if agents.count(a) > 1})
+    if duplicates:
+        raise ArchGymError(
+            f"duplicate agent name(s) {duplicates}: each agent may appear "
+            "once per sweep — listing it twice would double its trials and "
+            "merge them under one key, silently skewing spread/IQR stats. "
+            "Raise n_trials for more lottery tickets instead."
+        )
 
 
 def run_lottery_sweep(
@@ -192,6 +246,10 @@ def run_lottery_sweep(
     collect_dataset: bool = False,
     workers: int = 1,
     cache: Optional[bool] = None,
+    out_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    shared_cache: bool = False,
+    env_signature: Optional[str] = None,
 ) -> SweepReport:
     """Run the hyperparameter-lottery experiment.
 
@@ -203,15 +261,17 @@ def run_lottery_sweep(
         Must be picklable (module-level callable / ``functools.partial``)
         when ``workers > 1``.
     agents:
-        Agent short names (see :data:`repro.agents.AGENT_NAMES`).
+        Agent short names (see :data:`repro.agents.AGENT_NAMES`); each
+        may appear once (use ``n_trials`` for more tickets per agent).
     n_trials:
         Hyperparameter lottery tickets per agent.
     n_samples:
         Cost-model queries per trial — the paper's comparison unit.
     collect_dataset:
         Aggregate every trial's trajectories into one multi-source
-        dataset (the §7 pipeline). Per-worker logs are merged in trial
-        order after the sweep, so the dataset is worker-count invariant.
+        dataset (the §7 pipeline), each trial tagged ``agent/index``.
+        Per-worker logs are merged in trial order after the sweep, so
+        the dataset is worker-count invariant.
     workers:
         Process-pool width. Every trial's hyperparameters and seeds are
         drawn up front in serial order, so any value returns the same
@@ -224,13 +284,52 @@ def run_lottery_sweep(
         methodology) stays uncached. ``True`` force-enables so repeated
         queries of one design skip the cost model; ``False``
         force-disables.
+    out_dir:
+        Durable execution: every finished trial is streamed to
+        ``out_dir`` as an atomic JSON shard and the report is rebuilt
+        from disk, so the sweep never holds all trajectories in memory
+        and a killed run loses at most its in-flight trials. The
+        directory is fingerprinted on env/agents/counts/seed; reusing
+        it with different arguments is rejected.
+    resume:
+        With ``out_dir``: skip trial indices whose shard already
+        exists and run only the remainder. Seeds are precomputed in
+        serial order, so a resumed sweep is bit-identical to an
+        uninterrupted one — for any worker count and any kill point.
+    shared_cache:
+        With ``out_dir``: give every trial a file-backed, cross-process
+        second cache tier under ``out_dir/shared-cache``, keyed on
+        ``canonical_action_key`` — concurrent (and resumed) trials
+        stop re-simulating each other's design points. Fitness numbers
+        are unchanged (deterministic cost models); hits appear as
+        ``shared cache: N cross-trial hits`` in the report footer.
+    env_signature:
+        Opaque string folded into the sweep fingerprint. ``env_id``
+        alone cannot distinguish two factories building the same class
+        with different construction arguments (workload, objective,
+        …), so pass — or expose a ``fingerprint_signature`` attribute
+        on the factory carrying — whatever else determines your
+        environment's behavior; resuming with a different signature is
+        then rejected instead of silently merging two experiments.
+        The CLI's factory does this for its ``--workload/--objective``.
     """
     if n_trials < 1 or n_samples < 1:
         raise ArchGymError("n_trials and n_samples must be >= 1")
     validate_agent_names(agents)
+    if resume and out_dir is None:
+        raise ArchGymError("resume=True requires out_dir")
+    if shared_cache and out_dir is None:
+        raise ArchGymError("shared_cache=True requires out_dir")
     rng = np.random.default_rng(seed)
     probe = env_factory()
-    report = SweepReport(env_id=probe.env_id, n_samples=n_samples, workers=workers)
+    try:
+        env_id = probe.env_id
+    finally:
+        probe.close()
+
+    shared_cache_dir = (
+        str(Path(out_dir) / "shared-cache") if shared_cache else None
+    )
 
     # Draw every trial's lottery ticket in the same order the serial
     # loop always has — task outcomes then depend only on the task.
@@ -249,19 +348,65 @@ def run_lottery_sweep(
                     env_factory=env_factory,
                     collect=collect_dataset,
                     cache=cache,
+                    shared_cache_dir=shared_cache_dir,
                 )
             )
 
-    start = time.perf_counter()
-    outcomes = execute_trials(tasks, workers=workers)
-    report.wall_time_s = time.perf_counter() - start
+    if out_dir is None:
+        start = time.perf_counter()
+        outcomes = execute_trials(tasks, workers=workers)
+        wall_time_s = time.perf_counter() - start
 
-    report.results = {a: [] for a in agents}
-    for outcome in outcomes:
-        report.results[outcome.agent].append(outcome.result)
-    if collect_dataset:
-        report.dataset = ArchGymDataset.merge_all(
-            [ArchGymDataset(o.env_id, o.transitions) for o in outcomes],
-            env_id=probe.env_id,
-        )
+        report = SweepReport(env_id=env_id, n_samples=n_samples, workers=workers)
+        report.wall_time_s = wall_time_s
+        report.results = {a: [] for a in agents}
+        for outcome in outcomes:
+            report.results[outcome.agent].append(outcome.result)
+        if collect_dataset:
+            report.dataset = ArchGymDataset.merge_all(
+                [ArchGymDataset(o.env_id, o.transitions) for o in outcomes],
+                env_id=env_id,
+            )
+        return report
+
+    from repro.sweeps.shards import execute_durable, sweep_fingerprint
+
+    if env_signature is None:
+        env_signature = getattr(env_factory, "fingerprint_signature", None)
+    fingerprint = sweep_fingerprint(
+        kind="lottery-sweep",
+        env_id=env_id,
+        env_signature=env_signature,
+        agents=list(agents),
+        n_trials=n_trials,
+        n_samples=n_samples,
+        seed=seed,
+        collect=collect_dataset,
+    )
+    manifest = {
+        "fingerprint": fingerprint,
+        "kind": "lottery-sweep",
+        "env_id": env_id,
+        "env_signature": env_signature,
+        "agents": list(agents),
+        "n_trials": n_trials,
+        "n_samples": n_samples,
+        "seed": seed,
+        "collect": collect_dataset,
+        "n_tasks": len(tasks),
+        "workers": workers,
+    }
+
+    start = time.perf_counter()
+    # Stream each finished trial straight to disk and drop it — memory
+    # stays flat no matter how large the sweep is.
+    execute_durable(
+        tasks, out_dir, manifest, workers=workers, resume=resume,
+        keep_outcomes=False,
+    )
+    wall_time_s = time.perf_counter() - start
+
+    report = SweepReport.from_shards(out_dir)
+    report.workers = workers
+    report.wall_time_s = wall_time_s
     return report

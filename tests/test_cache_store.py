@@ -1,0 +1,129 @@
+"""Tests for the file-backed cross-process shared evaluation cache."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.core.cache_store import SharedCacheStore, encode_key
+from repro.core.env import canonical_action_key
+from repro.core.errors import ArchGymError, CacheStoreError
+
+
+def _key(i):
+    return canonical_action_key({"x": i, "m": "a"})
+
+
+def _put_from_subprocess(directory):
+    """Module-level so it pickles into a worker process."""
+    store = SharedCacheStore(directory)
+    store.put(_key(99), {"cost": 3.25})
+    return True
+
+
+class TestBasics:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = SharedCacheStore(tmp_path / "cache")
+        store.put(_key(1), {"cost": 2.5, "power": 0.125})
+        assert store.get(_key(1)) == {"cost": 2.5, "power": 0.125}
+
+    def test_miss_returns_none(self, tmp_path):
+        store = SharedCacheStore(tmp_path / "cache")
+        assert store.get(_key(7)) is None
+
+    def test_floats_roundtrip_exactly(self, tmp_path):
+        store = SharedCacheStore(tmp_path / "cache")
+        value = 0.1 + 0.2  # not representable exactly; must survive JSON
+        store.put(_key(2), {"cost": value})
+        fresh = SharedCacheStore(tmp_path / "cache")
+        assert fresh.get(_key(2))["cost"] == value
+
+    def test_get_returns_a_copy(self, tmp_path):
+        store = SharedCacheStore(tmp_path / "cache")
+        store.put(_key(3), {"cost": 1.0})
+        store.get(_key(3))["cost"] = 999.0
+        assert store.get(_key(3))["cost"] == 1.0
+
+    def test_len_counts_distinct_keys(self, tmp_path):
+        store = SharedCacheStore(tmp_path / "cache")
+        for i in range(10):
+            store.put(_key(i), {"cost": float(i)})
+        store.put(_key(0), {"cost": 0.0})  # idempotent re-put
+        assert len(store) == 10
+
+    def test_bad_n_shards_rejected(self, tmp_path):
+        with pytest.raises(ArchGymError):
+            SharedCacheStore(tmp_path / "cache", n_shards=0)
+
+
+class TestSharding:
+    def test_entries_spread_over_shard_files(self, tmp_path):
+        store = SharedCacheStore(tmp_path / "cache", n_shards=8)
+        for i in range(64):
+            store.put(_key(i), {"cost": float(i)})
+        shard_files = list((tmp_path / "cache").glob("shard-*.jsonl"))
+        assert len(shard_files) > 1
+
+    def test_mismatched_n_shards_rejected(self, tmp_path):
+        SharedCacheStore(tmp_path / "cache", n_shards=4)
+        with pytest.raises(CacheStoreError, match="n_shards"):
+            SharedCacheStore(tmp_path / "cache", n_shards=8)
+
+    def test_foreign_meta_rejected(self, tmp_path):
+        d = tmp_path / "cache"
+        d.mkdir()
+        (d / "cache-meta.json").write_text('{"format": "other"}')
+        with pytest.raises(CacheStoreError, match="not an ArchGym"):
+            SharedCacheStore(d)
+
+
+class TestCrossProcessVisibility:
+    def test_persistence_across_store_instances(self, tmp_path):
+        SharedCacheStore(tmp_path / "cache").put(_key(5), {"cost": 5.0})
+        assert SharedCacheStore(tmp_path / "cache").get(_key(5)) == {"cost": 5.0}
+
+    def test_entries_written_after_open_become_visible(self, tmp_path):
+        reader = SharedCacheStore(tmp_path / "cache")
+        assert reader.get(_key(6)) is None  # prime the reader's offsets
+        writer = SharedCacheStore(tmp_path / "cache")
+        writer.put(_key(6), {"cost": 6.0})
+        assert reader.get(_key(6)) == {"cost": 6.0}  # tail re-read, no reopen
+
+    def test_write_from_real_subprocess(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        reader = SharedCacheStore(directory)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            assert pool.submit(_put_from_subprocess, directory).result()
+        assert reader.get(_key(99)) == {"cost": 3.25}
+
+
+class TestCorruptionTolerance:
+    def test_torn_trailing_line_is_ignored(self, tmp_path):
+        store = SharedCacheStore(tmp_path / "cache", n_shards=1)
+        store.put(_key(1), {"cost": 1.0})
+        shard = tmp_path / "cache" / "shard-000.jsonl"
+        with shard.open("ab") as f:
+            f.write(b'{"k": "torn')  # a writer died mid-append
+        fresh = SharedCacheStore(tmp_path / "cache", n_shards=1)
+        assert fresh.get(_key(1)) == {"cost": 1.0}
+        assert fresh.get(_key(2)) is None
+
+    def test_corrupt_complete_line_loses_only_that_entry(self, tmp_path):
+        store = SharedCacheStore(tmp_path / "cache", n_shards=1)
+        store.put(_key(1), {"cost": 1.0})
+        shard = tmp_path / "cache" / "shard-000.jsonl"
+        with shard.open("ab") as f:
+            f.write(b"not json at all\n")
+        store.put(_key(2), {"cost": 2.0})
+        fresh = SharedCacheStore(tmp_path / "cache", n_shards=1)
+        assert fresh.get(_key(1)) == {"cost": 1.0}
+        assert fresh.get(_key(2)) == {"cost": 2.0}
+
+
+class TestKeyEncoding:
+    def test_encode_key_is_stable(self):
+        assert encode_key(_key(1)) == encode_key(
+            canonical_action_key({"m": "a", "x": 1})
+        )
+
+    def test_distinct_keys_distinct_encodings(self):
+        assert encode_key(_key(1)) != encode_key(_key(2))

@@ -110,3 +110,93 @@ class TestCommands:
         ])
         assert code == 0
         assert out.read_text().startswith("env_id")
+
+
+class TestDurableCommands:
+    SWEEP_ARGS = [
+        "sweep", "--env", "MaestroGym-v0", "--agents", "rw,ga",
+        "--trials", "2", "--samples", "8", "--seed", "3",
+    ]
+
+    def test_sweep_out_dir_writes_manifest_and_shards(self, tmp_path, capsys):
+        out_dir = tmp_path / "sweep"
+        assert main(self.SWEEP_ARGS + ["--out-dir", str(out_dir)]) == 0
+        assert (out_dir / "sweep.json").exists()
+        assert len(list(out_dir.glob("trial-*.json"))) == 4
+
+    def test_sweep_resume_reproduces_clean_export(self, tmp_path, capsys):
+        clean_export = tmp_path / "clean.json"
+        assert main(self.SWEEP_ARGS + [
+            "--out-dir", str(tmp_path / "clean"), "--export", str(clean_export),
+        ]) == 0
+
+        # simulate a kill: drop two of the four shards, then resume
+        out_dir = tmp_path / "resumed"
+        resumed_export = tmp_path / "resumed.json"
+        assert main(self.SWEEP_ARGS + ["--out-dir", str(out_dir)]) == 0
+        for index in (1, 3):
+            (out_dir / f"trial-{index:05d}.json").unlink()
+        assert main(self.SWEEP_ARGS + [
+            "--out-dir", str(out_dir), "--resume", "--export",
+            str(resumed_export),
+        ]) == 0
+
+        clean = json.loads(clean_export.read_text())
+        resumed = json.loads(resumed_export.read_text())
+        for payload in (clean, resumed):
+            for row in payload["rows"]:
+                row["wall_time_s"] = row["sim_time_s"] = 0.0
+        assert resumed == clean
+
+    def test_sweep_shared_cache_flag(self, tmp_path, capsys):
+        # a tiny space with repeat proposals across trials
+        code = main([
+            "sweep", "--env", "MaestroGym-v0", "--agents", "rw",
+            "--trials", "3", "--samples", "30", "--seed", "1",
+            "--out-dir", str(tmp_path / "s"), "--shared-cache",
+        ])
+        assert code == 0
+        assert (tmp_path / "s" / "shared-cache").is_dir()
+
+    def test_collect_resume_completes_partial_run(self, tmp_path, capsys):
+        out_dir = tmp_path / "collect"
+        args = [
+            "collect", "--env", "MaestroGym-v0", "--agents", "rw,ga",
+            "--samples", "8", "--seed", "2",
+        ]
+        clean_path = tmp_path / "clean.jsonl"
+        assert main(args + ["--out", str(clean_path)]) == 0
+
+        first_path = tmp_path / "first.jsonl"
+        assert main(args + [
+            "--out", str(first_path), "--out-dir", str(out_dir),
+        ]) == 0
+        (out_dir / "trial-00001.json").unlink()  # simulate a kill
+
+        resumed_path = tmp_path / "resumed.jsonl"
+        assert main(args + [
+            "--out", str(resumed_path), "--out-dir", str(out_dir), "--resume",
+        ]) == 0
+        assert resumed_path.read_text() == clean_path.read_text()
+
+    def test_resume_with_different_workload_rejected(self, tmp_path):
+        from repro.core.errors import ShardError
+
+        out_dir = str(tmp_path / "s")
+        base = [
+            "sweep", "--env", "DRAMGym-v0", "--agents", "rw",
+            "--trials", "1", "--samples", "5", "--out-dir", out_dir,
+        ]
+        assert main(base + ["--workload", "stream"]) == 0
+        with pytest.raises(ShardError, match="different sweep"):
+            main(base + ["--workload", "cloud-1", "--resume"])
+
+    def test_resume_without_out_dir_rejected(self, tmp_path):
+        from repro.core.errors import ArchGymError
+
+        with pytest.raises(ArchGymError, match="out-dir"):
+            main([
+                "collect", "--env", "MaestroGym-v0", "--agents", "rw",
+                "--samples", "4", "--out", str(tmp_path / "x.jsonl"),
+                "--resume",
+            ])

@@ -68,6 +68,36 @@ class CallCountingFactory:
         return CountingEnv()
 
 
+class ClosableEnv(CountingEnv):
+    """Records close() calls (the executor must not leak environments)."""
+
+    env_id = "Closable-v0"
+
+    def __init__(self):
+        super().__init__()
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+class PoisonedFactory:
+    """Raises on construction — a trial that dies immediately."""
+
+    def __call__(self):
+        raise RuntimeError("poisoned env factory")
+
+
+class VerySlowEnv(CountingEnv):
+    """Each evaluation pays a long simulator delay (fail-fast timing)."""
+
+    env_id = "VerySlow-v0"
+
+    def evaluate(self, action):
+        time.sleep(0.25)
+        return super().evaluate(action)
+
+
 class TestCanonicalActionKey:
     def test_order_insensitive(self):
         assert canonical_action_key({"a": 1, "b": 2}) == canonical_action_key(
@@ -308,6 +338,149 @@ class TestExecutor:
         res = outcome.result
         assert res.cache_hits + res.cache_misses == res.n_samples
         assert res.sim_time_s >= 0.0
+
+    def test_run_trial_closes_its_env(self):
+        built = []
+
+        def factory():
+            built.append(ClosableEnv())
+            return built[-1]
+
+        run_trial(self._tasks(n=1, factory=factory)[0])
+        assert built[0].closed
+
+    def test_run_trial_closes_env_on_failure(self):
+        class BrokenEnv(ClosableEnv):
+            def evaluate(self, action):
+                raise RuntimeError("simulator crashed")
+
+        built = []
+
+        def factory():
+            built.append(BrokenEnv())
+            return built[-1]
+
+        task = TrialTask(
+            index=0, agent="rw", hyperparams={"locality": 0.2},
+            agent_seed=1, run_seed=1, n_samples=4, env_factory=factory,
+        )
+        with pytest.raises(RuntimeError, match="simulator crashed"):
+            run_trial(task)
+        assert built and built[0].closed
+
+    def test_on_outcome_streams_every_trial(self):
+        streamed = []
+        outcomes = execute_trials(
+            self._tasks(n=4), workers=1, on_outcome=streamed.append
+        )
+        assert [o.index for o in streamed] == [0, 1, 2, 3]
+        assert outcomes == streamed
+
+    def test_keep_outcomes_false_drops_results(self):
+        streamed = []
+        result = execute_trials(
+            self._tasks(n=3), workers=1,
+            on_outcome=streamed.append, keep_outcomes=False,
+        )
+        assert result == []
+        assert len(streamed) == 3
+
+    def test_on_outcome_streams_under_process_pool(self):
+        streamed = []
+        outcomes = execute_trials(
+            self._tasks(n=4), workers=2, on_outcome=streamed.append
+        )
+        # completion order may vary; the streamed set must not
+        assert sorted(o.index for o in streamed) == [0, 1, 2, 3]
+        assert [o.index for o in outcomes] == [0, 1, 2, 3]
+
+
+class TestFailFastShutdown:
+    def test_worker_failure_propagates(self):
+        tasks = [
+            TrialTask(
+                index=0, agent="rw", hyperparams={"locality": 0.2},
+                agent_seed=1, run_seed=1, n_samples=2,
+                env_factory=PoisonedFactory(),
+            )
+        ]
+        with pytest.raises(RuntimeError, match="poisoned"):
+            execute_trials(tasks, workers=2)
+
+    def test_poisoned_trial_aborts_without_draining_pool(self):
+        """One bad trial must abort the sweep promptly — not wait out
+        every already-running slow worker on pool exit."""
+        slow = [
+            TrialTask(
+                index=i, agent="rw", hyperparams={"locality": 0.2},
+                agent_seed=i, run_seed=i, n_samples=10,  # ~2.5s each
+                env_factory=VerySlowEnv,
+            )
+            for i in range(1, 4)
+        ]
+        poisoned = TrialTask(
+            index=0, agent="rw", hyperparams={"locality": 0.2},
+            agent_seed=0, run_seed=0, n_samples=2,
+            env_factory=PoisonedFactory(),
+        )
+        start = time.perf_counter()
+        with pytest.raises(RuntimeError, match="poisoned"):
+            execute_trials([poisoned] + slow, workers=2)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 1.5, (
+            f"fail-fast abort took {elapsed:.2f}s — the executor waited "
+            "for in-flight slow trials instead of shutting down"
+        )
+
+    def test_failed_sweep_process_exits_promptly(self):
+        """In-flight workers are terminated on failure — otherwise the
+        interpreter's exit hook joins them and `python -m repro sweep`
+        hangs for up to a full trial after printing the error."""
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "import time\n"
+            "from repro.core.rewards import TargetReward\n"
+            "from repro.core.spaces import CompositeSpace, Discrete\n"
+            "from repro.core.env import ArchGymEnv\n"
+            "from repro.sweeps import TrialTask, execute_trials\n"
+            "class Slow(ArchGymEnv):\n"
+            "    env_id = 'Slow-v0'\n"
+            "    def __init__(self):\n"
+            "        super().__init__(CompositeSpace([Discrete('x', 0, 7, 1)]),\n"
+            "                         ['cost'], TargetReward('cost', target=1.0),\n"
+            "                         episode_length=10_000)\n"
+            "    def evaluate(self, action):\n"
+            "        time.sleep(1.0)\n"
+            "        return {'cost': 1.0}\n"
+            "def boom():\n"
+            "    raise RuntimeError('poisoned')\n"
+            "tasks = [TrialTask(index=0, agent='rw', hyperparams={},\n"
+            "                   agent_seed=0, run_seed=0, n_samples=2,\n"
+            "                   env_factory=boom)] + [\n"
+            "    TrialTask(index=i, agent='rw', hyperparams={}, agent_seed=i,\n"
+            "              run_seed=i, n_samples=8, env_factory=Slow)\n"
+            "    for i in range(1, 4)]\n"
+            "try:\n"
+            "    execute_trials(tasks, workers=2)\n"
+            "except RuntimeError:\n"
+            "    pass\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        start = time.perf_counter()
+        subprocess.run(
+            [sys.executable, "-c", script], check=True, timeout=30, env=env
+        )
+        elapsed = time.perf_counter() - start
+        # in-flight trials are ~8s each; a prompt exit is well under that
+        assert elapsed < 5.0, (
+            f"process took {elapsed:.1f}s to exit after a failed sweep — "
+            "orphaned workers were joined instead of terminated"
+        )
 
 
 class TestParallelSweep:

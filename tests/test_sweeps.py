@@ -14,6 +14,7 @@ from repro.sweeps import (
     normalize_scores,
     run_lottery_sweep,
     spread_percent,
+    validate_agent_names,
 )
 
 
@@ -121,6 +122,31 @@ class TestLotterySweep:
         assert report.dataset is not None
         assert len(report.dataset) == 2 * 2 * 25
         assert len(report.dataset.sources) == 4  # one tag per trial
+
+    def test_dataset_provenance_tags_agent_and_trial(self):
+        """§7 per-source pipeline: every trial gets a distinct
+        ``agent/index`` tag even when hyperparameters collide — no
+        transition may carry the default "unknown" tag."""
+        report = run_lottery_sweep(
+            TinyEnv, agents=("rw", "ga"), n_trials=2, n_samples=10, seed=5,
+            collect_dataset=True,
+        )
+        assert report.dataset.sources == ["rw/0", "rw/1", "ga/2", "ga/3"]
+        assert report.dataset.source_counts() == {
+            "rw/0": 10, "rw/1": 10, "ga/2": 10, "ga/3": 10
+        }
+        assert "unknown" not in report.dataset.sources
+
+    def test_duplicate_agents_rejected(self):
+        with pytest.raises(ArchGymError, match="duplicate"):
+            run_lottery_sweep(
+                TinyEnv, agents=("ga", "rw", "ga"), n_trials=2, n_samples=10
+            )
+
+    def test_validate_agent_names_rejects_duplicates_only(self):
+        validate_agent_names(("rw", "ga"))
+        with pytest.raises(ArchGymError, match="ga"):
+            validate_agent_names(("ga", "ga"))
 
     def test_unknown_agent_in_report(self):
         report = run_lottery_sweep(TinyEnv, agents=("rw",), n_trials=1,

@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Kill/resume integration check for durable sweep execution (CI).
+
+Drives the real CLI end to end:
+
+1. launches a sweep with ``--out-dir``, watches the shard directory,
+   and SIGKILLs the process once a sentinel number of trial shards
+   has landed (a genuine mid-run kill, not a simulated one);
+2. re-runs the same command with ``--resume`` so only the missing
+   trials execute;
+3. runs the identical sweep uninterrupted into a fresh directory;
+4. diffs the two exported reports (timing fields zeroed — everything
+   else must match exactly).
+
+Exit code 0 means the resumed report is identical to the clean one.
+Usage: ``python tools/check_resume.py`` (repo root; sets PYTHONPATH=src
+for its children itself).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SENTINEL_SHARDS = 2  # kill once this many trials have landed
+
+SWEEP_ARGS = [
+    "sweep", "--env", "DRAMGym-v0", "--agents", "rw,ga",
+    "--trials", "3", "--samples", "60", "--seed", "7", "--workers", "1",
+]
+
+
+def _cli(*extra: str) -> list[str]:
+    return [sys.executable, "-m", "repro", *SWEEP_ARGS, *extra]
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def _shard_count(out_dir: Path) -> int:
+    return len(list(out_dir.glob("trial-*.json")))
+
+
+def _normalized_rows(export_path: Path) -> dict:
+    payload = json.loads(export_path.read_text())
+    for row in payload["rows"]:
+        row["wall_time_s"] = 0.0
+        row["sim_time_s"] = 0.0
+    return payload
+
+
+def main() -> int:
+    workdir = Path(tempfile.mkdtemp(prefix="archgym-resume-check-"))
+    killed_dir = workdir / "killed"
+    clean_dir = workdir / "clean"
+    resumed_export = workdir / "resumed.json"
+    clean_export = workdir / "clean.json"
+    n_total = 6  # 2 agents x 3 trials
+
+    # 1. start the sweep, kill it once SENTINEL_SHARDS shards exist
+    proc = subprocess.Popen(
+        _cli("--out-dir", str(killed_dir)),
+        env=_env(), cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline:
+        if _shard_count(killed_dir) >= SENTINEL_SHARDS:
+            proc.kill()
+            proc.wait()
+            break
+        if proc.poll() is not None:
+            break
+        time.sleep(0.02)
+    else:
+        proc.kill()
+        proc.wait()
+        print("FAIL: sweep produced no shards within the deadline")
+        return 1
+
+    at_kill = _shard_count(killed_dir)
+    if not 0 < at_kill < n_total:
+        print(
+            f"FAIL: kill landed after {at_kill}/{n_total} shards — the "
+            "check needs a genuine mid-run interruption; raise --samples "
+            "or lower SENTINEL_SHARDS"
+        )
+        return 1
+    print(f"killed sweep after {at_kill}/{n_total} shards")
+
+    # 2. resume the killed sweep
+    subprocess.run(
+        _cli("--out-dir", str(killed_dir), "--resume",
+             "--export", str(resumed_export)),
+        env=_env(), cwd=REPO_ROOT, check=True, stdout=subprocess.DEVNULL,
+    )
+    resumed_count = _shard_count(killed_dir)
+    if resumed_count != n_total:
+        print(f"FAIL: resume finished with {resumed_count}/{n_total} shards")
+        return 1
+    print(f"resume completed the remaining {n_total - at_kill} trials")
+
+    # 3. uninterrupted reference run
+    subprocess.run(
+        _cli("--out-dir", str(clean_dir), "--export", str(clean_export)),
+        env=_env(), cwd=REPO_ROOT, check=True, stdout=subprocess.DEVNULL,
+    )
+
+    # 4. diff
+    resumed = _normalized_rows(resumed_export)
+    clean = _normalized_rows(clean_export)
+    if resumed != clean:
+        print("FAIL: resumed report differs from the clean run")
+        for i, (r, c) in enumerate(zip(resumed["rows"], clean["rows"])):
+            if r != c:
+                print(f"  row {i} resumed: {json.dumps(r, sort_keys=True)}")
+                print(f"  row {i} clean:   {json.dumps(c, sort_keys=True)}")
+        return 1
+    print("OK: resumed report is identical to the uninterrupted run")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
