@@ -108,6 +108,7 @@ class SearchResult:
     cache_hits: int = 0
     cache_misses: int = 0
     shared_cache_hits: int = 0
+    remote_evals: int = 0
 
     def fitness_at(self, n: int) -> float:
         """Best fitness after the first ``n`` samples (sample-budget view,
@@ -140,6 +141,7 @@ class SearchResult:
             "cache_hits": int(self.cache_hits),
             "cache_misses": int(self.cache_misses),
             "shared_cache_hits": int(self.shared_cache_hits),
+            "remote_evals": int(self.remote_evals),
         }
 
     @classmethod
@@ -162,6 +164,7 @@ class SearchResult:
             cache_hits=int(record.get("cache_hits", 0)),
             cache_misses=int(record.get("cache_misses", 0)),
             shared_cache_hits=int(record.get("shared_cache_hits", 0)),
+            remote_evals=int(record.get("remote_evals", 0)),
         )
 
 
@@ -191,6 +194,7 @@ def run_agent(
     hits_0 = env.stats.cache_hits
     misses_0 = env.stats.cache_misses
     shared_0 = env.stats.shared_cache_hits
+    remote_0 = env.stats.remote_evals
 
     start = time.perf_counter()
     env.reset(seed=seed)
@@ -237,4 +241,5 @@ def run_agent(
         cache_hits=env.stats.cache_hits - hits_0,
         cache_misses=env.stats.cache_misses - misses_0,
         shared_cache_hits=env.stats.shared_cache_hits - shared_0,
+        remote_evals=env.stats.remote_evals - remote_0,
     )

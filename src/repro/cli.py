@@ -14,6 +14,10 @@ Commands
 ``collect``
     Run several agents, log all trajectories, and write an ArchGym
     dataset (JSONL) — the §3.4 pipeline.
+``serve``
+    Host registered environments as an HTTP evaluation service
+    (``POST /evaluate`` + ``GET /healthz`` + ``GET/PUT /cache/<key>``)
+    that remote sweeps point ``--service-url`` at.
 
 ``sweep`` and ``collect`` accept ``--workers N`` to fan trials out over
 a process pool (results are bit-identical for any worker count) and
@@ -23,6 +27,11 @@ atomic shard (killed runs keep their progress), ``--resume`` re-enters
 such a directory and runs only the missing trials, and
 ``--shared-cache`` adds a cross-process design-point cache under the
 out-dir so concurrent trials reuse each other's evaluations.
+``--service-url URL`` dispatches every cost-model call to a running
+``repro serve`` instance instead of evaluating in-process — results
+stay bit-identical (same seeds, same trial order); with
+``--shared-cache`` the service also hosts the shared design-point
+cache, so sweeps on different machines reuse each other's evaluations.
 """
 
 from __future__ import annotations
@@ -30,7 +39,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from pathlib import Path
 from typing import Optional, Sequence
 
 import repro
@@ -44,6 +52,7 @@ from repro.core.dataset import ArchGymDataset
 from repro.sweeps import (
     TrialTask,
     execute_trials,
+    resolve_execution_backend,
     run_lottery_sweep,
     validate_agent_names,
 )
@@ -64,6 +73,12 @@ class RegistryEnvFactory:
 
     def __call__(self) -> repro.ArchGymEnv:
         return repro.make(self.env_id, **self.kwargs)
+
+    @property
+    def env_kwargs(self) -> dict:
+        """Construction kwargs a remote backend forwards to the server,
+        so ``repro serve`` builds the same workload/objective variant."""
+        return dict(self.kwargs)
 
     @property
     def fingerprint_signature(self) -> str:
@@ -130,6 +145,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the design-point evaluation cache")
     _add_durability_args(col_p)
     col_p.add_argument("--out", required=True, help="output JSONL path")
+
+    serve_p = sub.add_parser(
+        "serve", help="host environments as an HTTP evaluation service"
+    )
+    serve_p.add_argument("--envs", default=None,
+                         help="comma-separated environment ids to serve "
+                              "(default: every registered environment)")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=0,
+                         help="bind port (0 picks a free one; the bound "
+                              "url is printed on startup)")
+    serve_p.add_argument("--cache-dir", default=None,
+                         help="back the /cache design-point store with "
+                              "this directory so it survives restarts "
+                              "(default: in-memory)")
     return parser
 
 
@@ -142,9 +172,23 @@ def _add_durability_args(parser: argparse.ArgumentParser) -> None:
                         help="with --out-dir: skip trials whose shard is "
                              "already on disk and run only the remainder")
     parser.add_argument("--shared-cache", action="store_true",
-                        help="with --out-dir: share design-point "
-                             "evaluations across trials/processes via a "
-                             "file-backed cache under the out-dir")
+                        help="share design-point evaluations across "
+                             "trials/processes via a file-backed cache "
+                             "under --out-dir (or, with --service-url, "
+                             "the service's /cache store)")
+    parser.add_argument("--service-url", default=None,
+                        help="dispatch cost-model evaluations to the "
+                             "`repro serve` instance at this URL instead "
+                             "of running them in-process (results stay "
+                             "bit-identical)")
+    parser.add_argument("--service-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-attempt socket timeout for service "
+                             "requests; size it above your slowest "
+                             "single evaluation (default: 60)")
+    parser.add_argument("--service-retries", type=int, default=None,
+                        help="transport-failure retries per service "
+                             "request (default: 2)")
 
 
 def _env_kwargs(args: argparse.Namespace) -> dict:
@@ -199,7 +243,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         n_samples=args.samples, seed=args.seed,
         workers=args.workers, cache=False if args.no_cache else None,
         out_dir=args.out_dir, resume=args.resume,
-        shared_cache=args.shared_cache,
+        shared_cache=args.shared_cache, service_url=args.service_url,
+        service_timeout_s=args.service_timeout,
+        service_retries=args.service_retries,
     )
     print(report.print_table(boxplots=args.boxplots))
     if args.export:
@@ -218,11 +264,15 @@ def _cmd_collect(args: argparse.Namespace) -> int:
 
     agents = tuple(a.strip() for a in args.agents.split(",") if a.strip())
     validate_agent_names(agents)
-    if (args.resume or args.shared_cache) and not args.out_dir:
-        raise ArchGymError("--resume and --shared-cache require --out-dir")
+    if args.resume and not args.out_dir:
+        raise ArchGymError("--resume requires --out-dir")
+    if args.shared_cache and not (args.out_dir or args.service_url):
+        raise ArchGymError("--shared-cache requires --out-dir or --service-url")
     factory = RegistryEnvFactory(args.env, **_env_kwargs(args))
-    shared_cache_dir = (
-        str(Path(args.out_dir) / "shared-cache") if args.shared_cache else None
+    backend, server_cache_url, shared_cache_dir = resolve_execution_backend(
+        args.service_url, args.shared_cache, args.out_dir,
+        env_kwargs=factory.env_kwargs,
+        timeout_s=args.service_timeout, retries=args.service_retries,
     )
     tasks = [
         TrialTask(
@@ -231,6 +281,7 @@ def _cmd_collect(args: argparse.Namespace) -> int:
             n_samples=args.samples, env_factory=factory,
             collect=True, cache=False if args.no_cache else None,
             shared_cache_dir=shared_cache_dir,
+            backend=backend, server_cache_url=server_cache_url,
         )
         for i, name in enumerate(agents)
     ]
@@ -272,6 +323,40 @@ def _cmd_collect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import functools
+
+    from repro.core.errors import ArchGymError
+    from repro.service import EvaluationService
+
+    if args.envs:
+        env_ids = [e.strip() for e in args.envs.split(",") if e.strip()]
+        unknown = [e for e in env_ids if e not in repro.registered_ids()]
+        if unknown:
+            raise ArchGymError(
+                f"unknown environment id(s) {unknown}; "
+                f"registered: {repro.registered_ids()}"
+            )
+    else:
+        env_ids = list(repro.registered_ids())
+    service = EvaluationService(
+        host=args.host, port=args.port, cache_dir=args.cache_dir
+    )
+    for env_id in env_ids:
+        service.register(env_id, functools.partial(repro.make, env_id))
+    url = service.start()
+    # The exact phrase tools/check_service.py (and humans) parse for.
+    print(f"serving {len(env_ids)} environment(s) at {url}", flush=True)
+    for env_id in env_ids:
+        print(f"    {env_id}", flush=True)
+    try:
+        service.wait()
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+        service.stop()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -285,6 +370,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "collect":
         return _cmd_collect(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -1,6 +1,6 @@
 """Core gym infrastructure: spaces, environments, rewards, datasets."""
 
-from repro.core.cache_store import SharedCacheStore
+from repro.core.cache_store import ServerCacheStore, SharedCacheStore
 from repro.core.dataset import ArchGymDataset, Transition
 from repro.core.env import ArchGymEnv, EnvStats, canonical_action_key
 from repro.core.errors import (
@@ -13,6 +13,7 @@ from repro.core.errors import (
     InvalidActionError,
     ProxyModelError,
     RegistryError,
+    ServiceError,
     ShardError,
     SimulationError,
     SpaceError,
@@ -38,6 +39,7 @@ __all__ = [
     "Transition",
     "ArchGymEnv",
     "EnvStats",
+    "ServerCacheStore",
     "SharedCacheStore",
     "canonical_action_key",
     "ArchGymError",
@@ -50,6 +52,7 @@ __all__ = [
     "InvalidActionError",
     "ProxyModelError",
     "RegistryError",
+    "ServiceError",
     "SimulationError",
     "SpaceError",
     "make",

@@ -1,14 +1,20 @@
-"""Cross-process shared evaluation cache (file-backed, lock-free).
+"""Cross-process shared evaluation caches (file- and server-backed).
 
 The in-memory LRU inside :class:`~repro.core.env.ArchGymEnv` dies with
 its environment, so concurrent trials of one sweep re-simulate each
 other's design points — the exact waste the paper's "evaluation is the
-bottleneck" argument targets. :class:`SharedCacheStore` is a second
-cache tier that outlives any single environment or process: a
-directory of append-only JSONL shard files keyed on
-:func:`~repro.core.env.canonical_action_key`.
+bottleneck" argument targets. This module provides second cache tiers
+that outlive any single environment or process, all sharing one
+``get``/``put``/``__len__`` contract keyed on
+:func:`~repro.core.env.canonical_action_key`:
 
-Design constraints, in order:
+- :class:`SharedCacheStore` — a directory of append-only JSONL shard
+  files, for trials sharing a filesystem.
+- :class:`ServerCacheStore` — the ``/cache`` endpoints of a
+  :class:`repro.service.EvaluationService`, for sweeps spread over
+  machines that share only a network.
+
+``SharedCacheStore`` design constraints, in order:
 
 - **Lock-free.** Writers append one complete JSON line per entry via a
   single ``os.write`` on an ``O_APPEND`` descriptor (atomic on POSIX
@@ -34,7 +40,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.errors import CacheStoreError
 
-__all__ = ["SharedCacheStore", "encode_key"]
+__all__ = ["SharedCacheStore", "ServerCacheStore", "encode_key"]
 
 ActionKey = Tuple[Tuple[str, Any], ...]
 
@@ -64,13 +70,24 @@ class SharedCacheStore:
         How many append-only files entries are spread over by key
         hash. Must match across all processes sharing the directory
         (it is recorded in, and verified against, ``cache-meta.json``).
+    durable:
+        ``fsync`` every appended entry before :meth:`put` returns. Off
+        by default: the store is a *memo*, so the durability contract
+        of ``O_APPEND`` alone — an entry written before a crash may be
+        lost, but readers never see a half-entry (torn trailing lines
+        are skipped) — costs at most a re-simulation, never a wrong
+        result. Turn it on when the cache itself is the artifact being
+        preserved (e.g. a long-lived server-side store).
     """
 
-    def __init__(self, directory: str | Path, n_shards: int = 16) -> None:
+    def __init__(
+        self, directory: str | Path, n_shards: int = 16, durable: bool = False
+    ) -> None:
         if n_shards < 1:
             raise CacheStoreError(f"n_shards must be >= 1, got {n_shards}")
         self.directory = Path(directory)
         self.n_shards = n_shards
+        self.durable = durable
         self.directory.mkdir(parents=True, exist_ok=True)
         self._check_meta()
         # Per-shard in-process view: decoded entries + how far into the
@@ -85,8 +102,26 @@ class SharedCacheStore:
     def get(self, key: ActionKey) -> Optional[Dict[str, float]]:
         """Metrics for ``key``, or ``None``. A local miss re-reads the
         shard's new bytes first, so entries written by other processes
-        become visible without any coordination."""
-        key_str = encode_key(key)
+        become visible without any coordination. A missing shard file
+        — or a whole shard directory deleted out from under the store —
+        is an empty cache, not an error."""
+        return self.get_encoded(encode_key(key))
+
+    def put(self, key: ActionKey, metrics: Dict[str, float]) -> None:
+        """Append one entry (idempotent: a key this process already
+        holds is not re-written).
+
+        Durability: the append is a single ``os.write`` on an
+        ``O_APPEND`` descriptor — atomic against concurrent writers —
+        but is **not** ``fsync``'d unless the store was built with
+        ``durable=True``; see the class docstring for why losing a
+        memo entry to a crash is acceptable by default.
+        """
+        self.put_encoded(encode_key(key), metrics)
+
+    def get_encoded(self, key_str: str) -> Optional[Dict[str, float]]:
+        """:meth:`get` by pre-encoded key — the form wire protocols
+        (and the evaluation service's ``/cache`` endpoints) carry."""
         shard = self._shard_index(key_str)
         found = self._entries[shard].get(key_str)
         if found is None:
@@ -94,10 +129,8 @@ class SharedCacheStore:
             found = self._entries[shard].get(key_str)
         return dict(found) if found is not None else None
 
-    def put(self, key: ActionKey, metrics: Dict[str, float]) -> None:
-        """Append one entry (idempotent: a key this process already
-        holds is not re-written)."""
-        key_str = encode_key(key)
+    def put_encoded(self, key_str: str, metrics: Dict[str, float]) -> None:
+        """:meth:`put` by pre-encoded key."""
         shard = self._shard_index(key_str)
         if key_str in self._entries[shard]:
             return
@@ -105,13 +138,7 @@ class SharedCacheStore:
         line = (
             json.dumps({"k": key_str, "m": clean}, separators=(",", ":")) + "\n"
         ).encode("utf-8")
-        fd = os.open(
-            self._shard_path(shard), os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
-        )
-        try:
-            os.write(fd, line)  # single write on O_APPEND: atomic append
-        finally:
-            os.close(fd)
+        self._append(shard, line)
         self._entries[shard][key_str] = clean
 
     def __len__(self) -> int:
@@ -127,6 +154,24 @@ class SharedCacheStore:
         )
 
     # -- internals ----------------------------------------------------------------
+
+    def _append(self, shard: int, line: bytes) -> None:
+        """One atomic ``O_APPEND`` write; recreates a shard directory
+        deleted out from under the store (e.g. a cleanup racing a
+        long-lived server) instead of failing the sweep."""
+        path = self._shard_path(shard)
+        try:
+            fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        except (FileNotFoundError, NotADirectoryError):
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._check_meta()
+            fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            os.write(fd, line)  # single write on O_APPEND: atomic append
+            if self.durable:
+                os.fsync(fd)
+        finally:
+            os.close(fd)
 
     def _shard_index(self, key_str: str) -> int:
         digest = hashlib.sha256(key_str.encode("utf-8")).digest()
@@ -159,13 +204,15 @@ class SharedCacheStore:
     def _refresh(self, shard: int) -> None:
         """Fold any bytes appended since the last read into the local
         view. Only complete lines (ending in a newline) are consumed —
-        a concurrent writer's in-flight line is picked up next time."""
+        a concurrent writer's in-flight line is picked up next time.
+        A shard file (or directory) that does not exist contributes
+        nothing — never an exception."""
         path = self._shard_path(shard)
         try:
             with path.open("rb") as f:
                 f.seek(self._offsets[shard])
                 chunk = f.read()
-        except FileNotFoundError:
+        except (FileNotFoundError, NotADirectoryError):
             return
         if not chunk:
             return
@@ -184,3 +231,76 @@ class SharedCacheStore:
                 # A torn/corrupt line loses one memo entry, never a result.
                 continue
         self._offsets[shard] += complete
+
+
+class ServerCacheStore:
+    """The same ``get``/``put``/``__len__`` contract as
+    :class:`SharedCacheStore`, backed by an evaluation service's
+    ``/cache`` endpoints instead of a shared filesystem.
+
+    Point any number of sweeps — on any number of machines — at one
+    service URL and they reuse each other's design points. Entries this
+    process has already seen are memoized locally (the cost model is
+    deterministic, so a cached copy can never go stale), which keeps
+    HTTP chatter to one round trip per *new* design point.
+
+    Parameters
+    ----------
+    service:
+        Base URL of a running service, or an existing
+        :class:`repro.service.ServiceClient` to reuse its
+        retry/timeout policy.
+    client_kwargs:
+        ``timeout_s`` / ``retries`` / ``backoff_s`` when ``service`` is
+        a URL.
+
+    Errors surface as :class:`~repro.core.errors.ServiceError` (an
+    unreachable cache server fails the sweep loudly rather than
+    silently degrading into re-simulation — point at the right URL or
+    drop the shared tier).
+    """
+
+    def __init__(self, service: Any, **client_kwargs: Any) -> None:
+        # Imported lazily: core must stay importable without the
+        # service package participating in any cycle.
+        from repro.service.client import ServiceClient
+
+        if isinstance(service, ServiceClient):
+            if client_kwargs:
+                raise CacheStoreError(
+                    "client_kwargs cannot be combined with an existing "
+                    "ServiceClient — its policy would silently win; set "
+                    f"the policy on the client instead ({sorted(client_kwargs)})"
+                )
+            self._client = service
+        else:
+            self._client = ServiceClient(str(service), **client_kwargs)
+        self._local: Dict[str, Dict[str, float]] = {}
+
+    def get(self, key: ActionKey) -> Optional[Dict[str, float]]:
+        """Metrics for ``key``, or ``None`` (asks the server on a local
+        miss, so entries written by other machines become visible)."""
+        key_str = encode_key(key)
+        found = self._local.get(key_str)
+        if found is None:
+            found = self._client.cache_get(key_str)
+            if found is not None:
+                self._local[key_str] = found
+        return dict(found) if found is not None else None
+
+    def put(self, key: ActionKey, metrics: Dict[str, float]) -> None:
+        """Store one entry (idempotent: a key this process already
+        holds is not re-sent)."""
+        key_str = encode_key(key)
+        if key_str in self._local:
+            return
+        clean = {k: float(v) for k, v in metrics.items()}
+        self._client.cache_put(key_str, clean)
+        self._local[key_str] = clean
+
+    def __len__(self) -> int:
+        """Distinct keys currently held by the server."""
+        return self._client.cache_size()
+
+    def __repr__(self) -> str:
+        return f"ServerCacheStore(url={self._client.base_url!r})"

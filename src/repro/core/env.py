@@ -87,13 +87,16 @@ class EnvStats:
         #: Evaluations answered by the cross-process shared store — a
         #: design point some *other* trial (or process) already paid for.
         self.shared_cache_hits = 0
+        #: Cost-model calls dispatched to a remote evaluation backend
+        #: (a subset of the runs counted by ``cache_misses``).
+        self.remote_evals = 0
 
     def __repr__(self) -> str:
         return (
             f"EnvStats(steps={self.total_steps}, episodes={self.total_episodes}, "
             f"sim_time={self.total_sim_time:.3f}s, "
             f"cache={self.cache_hits}h/{self.cache_misses}m"
-            f"/{self.shared_cache_hits}s)"
+            f"/{self.shared_cache_hits}s, remote={self.remote_evals})"
         )
 
 
@@ -137,6 +140,7 @@ class ArchGymEnv:
         self.episode_length = episode_length
         self.terminate_on_target = terminate_on_target
         self.stats = EnvStats()
+        self._backend: Optional[Any] = None
         self._eval_cache: "Optional[OrderedDict[ActionKey, Dict[str, float]]]" = None
         self._eval_cache_maxsize = 0
         self._shared_cache: "Optional[SharedCacheStore]" = None
@@ -156,6 +160,40 @@ class ArchGymEnv:
         their substrate simulator.
         """
         raise NotImplementedError
+
+    # -- evaluation dispatch -------------------------------------------------------
+
+    @property
+    def backend(self) -> Optional[Any]:
+        """The attached evaluation backend, or ``None`` for in-process."""
+        return self._backend
+
+    def attach_backend(self, backend: Any) -> None:
+        """Dispatch every cost-model call through ``backend``.
+
+        ``backend`` is duck-typed: it needs one method,
+        ``evaluate(env_id, action) -> Dict[str, float]`` — e.g.
+        :class:`repro.service.RemoteBackend`, which forwards the design
+        point to an evaluation service over HTTP. Everything above the
+        cost model (reward, caching tiers, episode accounting, dataset
+        logging) stays local, so an unmodified agent transparently
+        evaluates over the network; remote calls are counted in
+        ``stats.remote_evals``.
+        """
+        self._backend = backend
+
+    def detach_backend(self) -> Optional[Any]:
+        """Return to in-process evaluation; hands back the old backend."""
+        backend, self._backend = self._backend, None
+        return backend
+
+    def _dispatch_evaluate(self, action: Mapping[str, Any]) -> Dict[str, float]:
+        """One cost-model run, wherever the backend says it happens."""
+        if self._backend is None:
+            return self.evaluate(action)
+        metrics = self._backend.evaluate(self.env_id, action)
+        self.stats.remote_evals += 1
+        return metrics
 
     # -- evaluation cache ---------------------------------------------------------
 
@@ -300,7 +338,7 @@ class ArchGymEnv:
                 self._remember_local(key, shared)
         if metrics is None:
             start = time.perf_counter()
-            metrics = self.evaluate(action)
+            metrics = self._dispatch_evaluate(action)
             self.stats.total_sim_time += time.perf_counter() - start
 
             missing = [m for m in self.observation_metrics if m not in metrics]

@@ -54,5 +54,12 @@ class CacheStoreError(ArchGymError):
     """The shared evaluation cache store is corrupt or misconfigured."""
 
 
+class ServiceError(ArchGymError):
+    """Talking to (or serving) the remote evaluation service failed:
+    unreachable server, timeout, torn response body, or a server-side
+    evaluation error. Client-side, raised only after the retry policy
+    is exhausted — never a hang, never a silently wrong metric."""
+
+
 class ProxyModelError(ArchGymError):
     """A proxy cost model operation (fit, predict) is invalid."""

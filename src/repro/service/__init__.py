@@ -1,0 +1,23 @@
+"""Remote evaluation service: host environments behind HTTP so any
+agent — unmodified — evaluates design points over the network.
+
+Server side: :class:`EvaluationService` (stdlib ``ThreadingHTTPServer``)
+serves ``POST /evaluate``, ``GET /healthz``, and ``GET/PUT /cache/<key>``.
+Client side: :class:`ServiceClient` (retry/timeout policy),
+:class:`RemoteBackend` (the ``ArchGymEnv`` evaluation hook), and
+:func:`RemoteEnv` (attach-and-return convenience). The wire format is
+canonicalized in :mod:`repro.service.wire`.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.remote import RemoteBackend, RemoteEnv
+from repro.service.server import EvaluationService
+from repro.service.wire import WIRE_FORMAT
+
+__all__ = [
+    "EvaluationService",
+    "ServiceClient",
+    "RemoteBackend",
+    "RemoteEnv",
+    "WIRE_FORMAT",
+]

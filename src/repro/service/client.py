@@ -1,0 +1,189 @@
+"""HTTP client for the evaluation service, with an explicit
+retry/timeout policy.
+
+Every request either returns a parsed, schema-checked JSON body or
+raises :class:`~repro.core.errors.ServiceError` — the client never
+hangs (every socket operation carries ``timeout_s``) and never lets a
+torn response body masquerade as a metric.
+
+Retry policy
+------------
+The evaluation API is deterministic and idempotent (``evaluate`` memoizes
+a pure cost model; cache ``PUT`` is last-writer-wins over identical
+values), so *transport* failures — connection refused/reset, socket
+timeout, a body that does not parse — are retried up to ``retries``
+times with exponential backoff. Responses the server actually produced
+(4xx/5xx with an ``error`` body) are **not** retried: re-sending the
+same request would deterministically fail the same way.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.errors import ServiceError
+from repro.service.wire import dump_body, jsonify, key_to_token
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Talk to one :class:`~repro.service.server.EvaluationService`.
+
+    Parameters
+    ----------
+    base_url:
+        E.g. ``"http://127.0.0.1:8023"`` (trailing slash tolerated).
+    timeout_s:
+        Per-attempt socket timeout; a server that stalls longer fails
+        the attempt instead of hanging the sweep.
+    retries:
+        Extra attempts after the first, for transport-level failures.
+    backoff_s:
+        First retry delay; doubles per subsequent retry.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 60.0,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+    ) -> None:
+        if not base_url.startswith(("http://", "https://")):
+            raise ServiceError(
+                f"service url must start with http:// or https://, got {base_url!r}"
+            )
+        if timeout_s <= 0:
+            raise ServiceError(f"timeout_s must be > 0, got {timeout_s}")
+        if retries < 0:
+            raise ServiceError(f"retries must be >= 0, got {retries}")
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+
+    # -- transport ----------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One API call under the retry policy; returns (status, body)."""
+        url = self.base_url + path
+        body = dump_body(payload) if payload is not None else None
+        attempts = self.retries + 1
+        last_error: Optional[BaseException] = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(self.backoff_s * (2 ** (attempt - 1)))
+            request = urllib.request.Request(
+                url,
+                data=body,
+                method=method,
+                headers={"Content-Type": "application/json"},
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
+                    status = resp.status
+                    raw = resp.read()
+            except urllib.error.HTTPError as err:
+                # The server answered with an error status — parse its
+                # JSON error body if there is one; do not retry.
+                with err:
+                    raw = err.read()
+                try:
+                    parsed = json.loads(raw.decode("utf-8")) if raw else {}
+                except (ValueError, UnicodeDecodeError):
+                    parsed = {"error": raw[:200].decode("utf-8", errors="replace")}
+                if not isinstance(parsed, dict):
+                    parsed = {"error": str(parsed)}
+                return err.code, parsed
+            except (OSError, http.client.HTTPException) as exc:
+                # Connection refused/reset, DNS failure, socket timeout
+                # (urllib wraps it in URLError), torn chunked transfer.
+                last_error = exc
+                continue
+            try:
+                parsed = json.loads(raw.decode("utf-8")) if raw else {}
+                if not isinstance(parsed, dict):
+                    raise ValueError(f"expected a JSON object, got {parsed!r}")
+                return status, parsed
+            except (ValueError, UnicodeDecodeError) as exc:
+                # Torn/truncated body: the bytes arrived but do not
+                # parse — retryable, the API is idempotent.
+                last_error = exc
+                continue
+        raise ServiceError(
+            f"{method} {url} failed after {attempts} attempt(s) "
+            f"(timeout {self.timeout_s}s/attempt): {last_error!r}"
+        )
+
+    def _checked(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        status, parsed = self._request(method, path, payload)
+        if status >= 400:
+            raise ServiceError(
+                f"{method} {self.base_url + path} -> HTTP {status}: "
+                f"{parsed.get('error', parsed)}"
+            )
+        return parsed
+
+    # -- API ----------------------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        """The server's liveness/inventory document."""
+        return self._checked("GET", "/healthz")
+
+    def evaluate(
+        self,
+        env: str,
+        action: Dict[str, Any],
+        env_kwargs: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, float]:
+        """Evaluate one design point on the server's ``env``."""
+        request: Dict[str, Any] = {"env": env, "action": jsonify(action)}
+        if env_kwargs:
+            request["kwargs"] = jsonify(env_kwargs)
+        parsed = self._checked("POST", "/evaluate", request)
+        metrics = parsed.get("metrics")
+        if not isinstance(metrics, dict):
+            raise ServiceError(
+                f"evaluate response for env {env!r} has no metrics object: {parsed!r}"
+            )
+        return {str(k): float(v) for k, v in metrics.items()}
+
+    def cache_get(self, key_str: str) -> Optional[Dict[str, float]]:
+        """Server-cache lookup by encoded key; ``None`` on a miss."""
+        status, parsed = self._request("GET", f"/cache/{key_to_token(key_str)}")
+        if status == 404:
+            return None
+        if status >= 400:
+            raise ServiceError(
+                f"cache GET -> HTTP {status}: {parsed.get('error', parsed)}"
+            )
+        metrics = parsed.get("metrics")
+        if not isinstance(metrics, dict):
+            raise ServiceError(f"cache response has no metrics object: {parsed!r}")
+        return {str(k): float(v) for k, v in metrics.items()}
+
+    def cache_put(self, key_str: str, metrics: Dict[str, float]) -> None:
+        """Store one entry in the server cache."""
+        self._checked(
+            "PUT", f"/cache/{key_to_token(key_str)}", {"metrics": jsonify(metrics)}
+        )
+
+    def cache_size(self) -> int:
+        """Distinct keys currently held by the server cache."""
+        return int(self._checked("GET", "/cache").get("size", 0))
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceClient(base_url={self.base_url!r}, "
+            f"timeout_s={self.timeout_s}, retries={self.retries})"
+        )

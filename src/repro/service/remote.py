@@ -1,0 +1,85 @@
+"""Client-side evaluation backends: point ``ArchGymEnv.evaluate`` at a
+remote service.
+
+An :class:`~repro.core.env.ArchGymEnv` dispatches every cost-model call
+through its attached *backend* (``None`` means the env's own
+``evaluate``). :class:`RemoteBackend` is the over-the-wire
+implementation: the action crosses HTTP to an
+:class:`~repro.service.server.EvaluationService` hosting the same
+environment, and the metrics come back bit-exact (floats survive the
+JSON round trip). The agent above the env is untouched — reward
+computation, episode accounting, caching tiers, and dataset logging all
+stay client-side, so a remote sweep is bit-identical to an in-process
+one except for the ``remote_evals`` counter and timing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Union
+
+from repro.core.env import ArchGymEnv
+from repro.service.client import ServiceClient
+
+__all__ = ["RemoteBackend", "RemoteEnv"]
+
+
+class RemoteBackend:
+    """Evaluate design points on a remote evaluation service.
+
+    Parameters
+    ----------
+    service:
+        A base URL (``"http://host:port"``) or an existing
+        :class:`ServiceClient` (whose retry/timeout policy is reused).
+    env_kwargs:
+        Environment construction arguments (workload, objective, …)
+        forwarded with every request, so the server instantiates the
+        same environment the client built locally.
+    client_kwargs:
+        ``timeout_s`` / ``retries`` / ``backoff_s`` when ``service`` is
+        a URL.
+    """
+
+    def __init__(
+        self,
+        service: Union[str, ServiceClient],
+        env_kwargs: Optional[Dict[str, Any]] = None,
+        **client_kwargs: Any,
+    ) -> None:
+        self.client = (
+            service
+            if isinstance(service, ServiceClient)
+            else ServiceClient(service, **client_kwargs)
+        )
+        self.env_kwargs = dict(env_kwargs) if env_kwargs else None
+
+    def evaluate(self, env_name: str, action: Dict[str, Any]) -> Dict[str, float]:
+        """The backend hook :meth:`ArchGymEnv.step` dispatches through."""
+        return self.client.evaluate(env_name, action, env_kwargs=self.env_kwargs)
+
+    def __repr__(self) -> str:
+        return f"RemoteBackend(url={self.client.base_url!r})"
+
+
+def RemoteEnv(  # noqa: N802 - constructor-style helper, returns the env
+    env: ArchGymEnv,
+    service: Union[str, ServiceClient],
+    env_kwargs: Optional[Dict[str, Any]] = None,
+    **client_kwargs: Any,
+) -> ArchGymEnv:
+    """Attach a :class:`RemoteBackend` to ``env`` and return it.
+
+    The environment is still constructed locally — agents need its
+    action space, reward spec, and episode bookkeeping — but every
+    ``evaluate`` now runs on the service::
+
+        env = RemoteEnv(repro.make("DRAMGym-v0"), "http://127.0.0.1:8023")
+        obs, reward, *_ = env.step(action)   # cost model ran remotely
+
+    ``env_kwargs`` must mirror the construction arguments so the server
+    evaluates the same environment configuration.
+    """
+    env.attach_backend(
+        RemoteBackend(service, env_kwargs=env_kwargs, **client_kwargs)
+    )
+    return env

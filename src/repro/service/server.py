@@ -1,0 +1,355 @@
+"""The evaluation service: design-point evaluation over HTTP.
+
+The paper's wall-clock argument (§6, Fig. 8) is that *simulator* cost
+dominates search; :class:`EvaluationService` lets that cost live in a
+separate process — or on a separate machine — behind three endpoints:
+
+``GET /healthz``
+    Liveness + inventory: wire format, registered environment names,
+    how many evaluations this server has run, and the size of its
+    design-point cache.
+``POST /evaluate``
+    Body ``{"env": name, "action": {...}, "kwargs": {...}?}``; the
+    server builds (and keeps) the named environment, runs its
+    ``evaluate`` cost model, and answers ``{"metrics": {...}}``.
+    ``kwargs`` are environment construction arguments (workload,
+    objective, …); each distinct ``(env, kwargs)`` pair gets its own
+    long-lived instance, serialized by a per-instance lock because
+    cost models are not promised to be thread-safe.
+``GET/PUT /cache/<token>`` and ``GET /cache``
+    A ``canonical_action_key -> metrics`` map shared by every client —
+    the server-backed twin of the file-backed
+    :class:`~repro.core.cache_store.SharedCacheStore` (and the backing
+    for its drop-in variant ``ServerCacheStore``). ``<token>`` is the
+    urlsafe-base64 form of the encoded key (see
+    :mod:`repro.service.wire`); ``GET /cache`` reports the entry count.
+    With ``cache_dir`` the map is durably file-backed (a
+    ``SharedCacheStore`` the server owns); otherwise it is in-memory.
+
+Everything is stdlib: ``http.server.ThreadingHTTPServer`` + ``json``.
+Server-side failures are reported as JSON ``{"error": ...}`` bodies
+with 4xx/5xx statuses — the client maps them onto
+:class:`~repro.core.errors.ServiceError`.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from repro.core.cache_store import SharedCacheStore
+from repro.core.env import ArchGymEnv
+from repro.core.errors import ServiceError
+from repro.service.wire import (
+    WIRE_FORMAT,
+    canonical_dumps,
+    clean_metrics,
+    dump_body,
+    load_body,
+    token_to_key,
+)
+
+__all__ = ["EvaluationService"]
+
+EnvFactory = Callable[..., ArchGymEnv]
+
+
+class _UnknownEnvironment(ServiceError):
+    """Typed marker so the handler maps unknown-env to HTTP 404 without
+    sniffing exception message text."""
+
+
+class EvaluationService:
+    """Host registered environments behind the HTTP evaluation API.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address. ``port=0`` (the default) picks a free port;
+        read the bound address back from :attr:`url` after
+        :meth:`start`.
+    cache_dir:
+        Optional directory for the ``/cache`` map. When given, the map
+        is a file-backed :class:`SharedCacheStore` that survives server
+        restarts; otherwise entries live in memory for the server's
+        lifetime.
+
+    Use as a context manager (``with EvaluationService() as svc:``) or
+    call :meth:`start`/:meth:`stop` explicitly; :meth:`serve_forever`
+    is the blocking entry point the ``repro serve`` CLI uses.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self._host = host
+        self._requested_port = port
+        self._registry: Dict[str, EnvFactory] = {}
+        self._instances: Dict[Tuple[str, str], ArchGymEnv] = {}
+        self._instance_locks: Dict[Tuple[str, str], threading.Lock] = {}
+        self._state_lock = threading.Lock()
+        # durable=True: a server-side store is a long-lived artifact
+        # (the --cache-dir contract is "survives restarts"), so pay the
+        # fsync per append. The lock is required either way: the file
+        # store's offset bookkeeping is safe across *processes*, not
+        # across this server's handler threads.
+        self._cache_store: Optional[SharedCacheStore] = (
+            SharedCacheStore(cache_dir, durable=True)
+            if cache_dir is not None
+            else None
+        )
+        self._mem_cache: Dict[str, Dict[str, float]] = {}
+        self._cache_lock = threading.Lock()
+        self.evaluations = 0
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- registry -----------------------------------------------------------------
+
+    def register(self, name: str, factory: EnvFactory) -> None:
+        """Expose ``factory`` (an env class or callable) as ``name``."""
+        if not name:
+            raise ServiceError("environment name must be non-empty")
+        with self._state_lock:
+            if name in self._registry:
+                raise ServiceError(f"environment {name!r} already registered")
+            self._registry[name] = factory
+
+    @property
+    def env_names(self) -> Tuple[str, ...]:
+        with self._state_lock:
+            return tuple(sorted(self._registry))
+
+    # -- request semantics (handler delegates here) ---------------------------------
+
+    def evaluate(
+        self,
+        name: str,
+        action: Dict[str, Any],
+        kwargs: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, float]:
+        """Run one design point through the named environment."""
+        kwargs = kwargs or {}
+        instance_key = (name, canonical_dumps(kwargs))
+        with self._state_lock:
+            try:
+                factory = self._registry[name]
+            except KeyError:
+                raise _UnknownEnvironment(
+                    f"unknown environment {name!r}; serving "
+                    f"{sorted(self._registry)}"
+                ) from None
+            lock = self._instance_locks.setdefault(instance_key, threading.Lock())
+        # Construct and evaluate under the per-instance lock only — a
+        # slow env build or simulation must never stall requests for
+        # other instances (or /healthz) behind the global state lock.
+        with lock:
+            with self._state_lock:
+                env = self._instances.get(instance_key)
+            if env is None:
+                env = factory(**kwargs)
+                with self._state_lock:
+                    self._instances[instance_key] = env
+            metrics = env.evaluate(action)
+        with self._state_lock:  # instance locks differ per (env, kwargs)
+            self.evaluations += 1
+        return clean_metrics(metrics)
+
+    def cache_get(self, key_str: str) -> Optional[Dict[str, float]]:
+        with self._cache_lock:
+            if self._cache_store is not None:
+                return self._cache_store.get_encoded(key_str)
+            found = self._mem_cache.get(key_str)
+            return dict(found) if found is not None else None
+
+    def cache_put(self, key_str: str, metrics: Dict[str, float]) -> None:
+        clean = clean_metrics(metrics)
+        with self._cache_lock:
+            if self._cache_store is not None:
+                self._cache_store.put_encoded(key_str, clean)
+            else:
+                self._mem_cache[key_str] = clean
+
+    def cache_size(self) -> int:
+        with self._cache_lock:
+            if self._cache_store is not None:
+                return len(self._cache_store)
+            return len(self._mem_cache)
+
+    def health(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "format": WIRE_FORMAT,
+            "envs": list(self.env_names),
+            "evaluations": self.evaluations,
+            "cache_size": self.cache_size(),
+        }
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise ServiceError("service is not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    def _make_httpd(self) -> ThreadingHTTPServer:
+        handler = type("_BoundHandler", (_Handler,), {"service": self})
+        httpd = ThreadingHTTPServer((self._host, self._requested_port), handler)
+        httpd.daemon_threads = True
+        return httpd
+
+    def start(self) -> str:
+        """Serve in a daemon thread; returns the bound base URL."""
+        if self._httpd is not None:
+            raise ServiceError("service already started")
+        self._httpd = self._make_httpd()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="archgym-evaluation-service",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.url
+
+    def wait(self) -> None:
+        """Block the calling thread until :meth:`stop` (or interrupt).
+
+        The CLI's serve loop: ``start()`` to bind and learn the port,
+        print the URL, then ``wait()``.
+        """
+        thread = self._thread
+        if thread is not None:
+            thread.join()
+
+    def serve_forever(self) -> None:
+        """Bind and serve on the calling thread (the CLI entry point)."""
+        if self._httpd is not None:
+            raise ServiceError("service already started")
+        self._httpd = self._make_httpd()
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self._httpd.server_close()
+
+    def stop(self) -> None:
+        """Stop accepting requests and release the socket (idempotent).
+
+        Safe to call from any thread — including a handler thread, which
+        the fault-injection tests use to kill the server mid-sweep.
+        """
+        httpd, self._httpd = self._httpd, None
+        thread, self._thread = self._thread, None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=10)
+
+    def __enter__(self) -> "EvaluationService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs onto the owning :class:`EvaluationService`."""
+
+    #: Injected by :meth:`EvaluationService._make_httpd`.
+    service: EvaluationService
+
+    # Quiet: a sweep makes thousands of requests.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+        body = dump_body(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        return load_body(self.rfile.read(length))
+
+    def _dispatch(self, handler: Callable[[], None]) -> None:
+        try:
+            handler()
+        except ServiceError as exc:
+            self._reply(400, {"error": str(exc)})
+        except Exception as exc:  # cost-model crash → explicit 500
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    # -- verbs ---------------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        def handle() -> None:
+            if self.path == "/healthz":
+                self._reply(200, self.service.health())
+            elif self.path == "/cache":
+                self._reply(200, {"size": self.service.cache_size()})
+            elif self.path.startswith("/cache/"):
+                key_str = token_to_key(self.path[len("/cache/"):])
+                found = self.service.cache_get(key_str)
+                if found is None:
+                    self._reply(404, {"error": "cache miss"})
+                else:
+                    self._reply(200, {"metrics": found})
+            else:
+                self._reply(404, {"error": f"no route {self.path!r}"})
+
+        self._dispatch(handle)
+
+    def do_POST(self) -> None:
+        def handle() -> None:
+            if self.path != "/evaluate":
+                self._reply(404, {"error": f"no route {self.path!r}"})
+                return
+            request = self._read_json()
+            if not isinstance(request, dict) or "env" not in request:
+                raise ServiceError(f"evaluate body must name an 'env': {request!r}")
+            action = request.get("action")
+            if not isinstance(action, dict):
+                raise ServiceError(f"evaluate body needs an 'action' object: {request!r}")
+            try:
+                metrics = self.service.evaluate(
+                    str(request["env"]), action, request.get("kwargs")
+                )
+            except _UnknownEnvironment as exc:
+                self._reply(404, {"error": str(exc)})
+                return
+            except ServiceError as exc:
+                self._reply(400, {"error": str(exc)})
+                return
+            self._reply(200, {"metrics": metrics})
+
+        self._dispatch(handle)
+
+    def do_PUT(self) -> None:
+        def handle() -> None:
+            if not self.path.startswith("/cache/"):
+                self._reply(404, {"error": f"no route {self.path!r}"})
+                return
+            key_str = token_to_key(self.path[len("/cache/"):])
+            request = self._read_json()
+            if not isinstance(request, dict) or not isinstance(
+                request.get("metrics"), dict
+            ):
+                raise ServiceError(f"cache PUT body needs a 'metrics' object: {request!r}")
+            self.service.cache_put(key_str, request["metrics"])
+            self._reply(200, {"stored": True})
+
+        self._dispatch(handle)

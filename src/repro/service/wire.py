@@ -1,0 +1,118 @@
+"""Wire-format canonicalization for the evaluation service.
+
+Both sides of the wire — :mod:`repro.service.server` and
+:mod:`repro.service.client` — serialize through this module so the
+formats cannot drift apart. The invariants that make a remote sweep
+bit-identical to an in-process one all live here:
+
+- **Actions** are JSON objects. Numpy scalars are unwrapped to native
+  Python values and arrays/tuples become lists — exactly the
+  normalization :func:`repro.core.env.canonical_action_key` applies to
+  cache keys, so a design point has one identity on both sides.
+- **Metrics** are ``{name: float}`` objects. Python floats survive a
+  JSON round-trip exactly (``json`` emits ``repr``-faithful doubles),
+  so the metrics an agent observes through the service are the same
+  bits an in-process ``evaluate()`` would have produced.
+- **Cache keys** travel inside URL paths as padding-free urlsafe
+  base64 of the :func:`repro.core.cache_store.encode_key` string, so
+  arbitrary key content (quotes, brackets, unicode) never fights URL
+  quoting rules.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any, Dict, Mapping
+
+import numpy as np
+
+from repro.core.errors import ServiceError
+
+__all__ = [
+    "WIRE_FORMAT",
+    "jsonify",
+    "canonical_dumps",
+    "dump_body",
+    "load_body",
+    "clean_metrics",
+    "key_to_token",
+    "token_to_key",
+]
+
+#: Protocol identifier served by ``GET /healthz``; clients may check it.
+WIRE_FORMAT = "archgym-service-v1"
+
+
+def jsonify(value: Any) -> Any:
+    """Recursively convert a value to JSON-native types.
+
+    Numpy scalars unwrap to Python ints/floats/bools and arrays,
+    tuples, and lists all become lists — the same normalization the
+    evaluation-cache key applies, so one design point serializes one
+    way everywhere.
+    """
+    if isinstance(value, np.ndarray):
+        return [jsonify(v) for v in value.tolist()]
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, Mapping):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    return value
+
+
+def canonical_dumps(obj: Any) -> str:
+    """Canonical JSON text: jsonified values, sorted keys, no spaces.
+
+    For *identities* (e.g. the server's per-``(env, kwargs)`` instance
+    keying) where two spellings of the same mapping must collide.
+    """
+    return json.dumps(jsonify(obj), sort_keys=True, separators=(",", ":"))
+
+
+def dump_body(obj: Any) -> bytes:
+    """Encode one HTTP request/response body.
+
+    Insertion order is preserved (no key sorting): a metrics dict must
+    come back in the cost model's own order, so artifacts serialized
+    from a remote run — dataset JSONL lines, shard files — stay
+    *byte*-identical to in-process ones, not merely value-identical.
+    """
+    return json.dumps(jsonify(obj), separators=(",", ":")).encode("utf-8")
+
+
+def load_body(raw: bytes) -> Any:
+    """Decode one HTTP body; raises :class:`ServiceError` on torn or
+    non-JSON bytes so transport corruption never parses as a metric."""
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        snippet = raw[:80].decode("utf-8", errors="replace")
+        raise ServiceError(f"malformed service body {snippet!r}: {exc}") from exc
+
+
+def clean_metrics(metrics: Mapping[str, Any]) -> Dict[str, float]:
+    """Coerce a cost-model result to the wire metric schema."""
+    try:
+        return {str(k): float(v) for k, v in metrics.items()}
+    except (TypeError, ValueError, AttributeError) as exc:
+        raise ServiceError(
+            f"metrics are not a name->float mapping: {metrics!r}"
+        ) from exc
+
+
+def key_to_token(key_str: str) -> str:
+    """URL-path-safe token for an encoded cache key (no padding)."""
+    return base64.urlsafe_b64encode(key_str.encode("utf-8")).decode("ascii").rstrip("=")
+
+
+def token_to_key(token: str) -> str:
+    """Invert :func:`key_to_token`; raises :class:`ServiceError` on a
+    token that is not valid base64 text."""
+    try:
+        padded = token + "=" * (-len(token) % 4)
+        return base64.urlsafe_b64decode(padded.encode("ascii")).decode("utf-8")
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ServiceError(f"malformed cache-key token {token!r}") from exc

@@ -1,6 +1,12 @@
 """Sweep harness, parallel executor, and lottery statistics (paper §6)."""
 
-from repro.sweeps.executor import TrialOutcome, TrialTask, execute_trials
+from repro.sweeps.executor import (
+    BackendSpec,
+    TrialOutcome,
+    TrialTask,
+    execute_trials,
+    resolve_execution_backend,
+)
 from repro.sweeps.export import (
     load_report_json,
     report_to_rows,
@@ -28,9 +34,11 @@ from repro.sweeps.stats import (
 )
 
 __all__ = [
+    "BackendSpec",
     "TrialTask",
     "TrialOutcome",
     "execute_trials",
+    "resolve_execution_backend",
     "load_report_json",
     "report_to_rows",
     "save_report_csv",

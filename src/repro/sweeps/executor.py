@@ -20,17 +20,111 @@ from __future__ import annotations
 import pickle
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.agents.base import SearchResult, run_agent
 from repro.agents.hyperparams import make_agent
 from repro.core.dataset import ArchGymDataset, Transition
 from repro.core.env import ArchGymEnv
-from repro.core.errors import ExecutorError
+from repro.core.errors import ExecutorError, ServiceError
 
-__all__ = ["TrialTask", "TrialOutcome", "execute_trials"]
+__all__ = [
+    "BackendSpec",
+    "TrialTask",
+    "TrialOutcome",
+    "execute_trials",
+    "resolve_execution_backend",
+]
 
 EnvFactory = Callable[[], ArchGymEnv]
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """Serializable description of where a trial's cost model runs.
+
+    Tasks cross a pickle boundary, so a live backend object (holding
+    an HTTP client) cannot ride on the task — this spec does, and each
+    worker builds its own backend from it.
+
+    ``kind="local"`` (the default when a task carries no spec) runs
+    ``env.evaluate`` in the worker process. ``kind="remote"`` dispatches
+    every evaluation to the evaluation service at ``service_url``;
+    ``env_kwargs`` are forwarded so the server constructs the same
+    environment configuration (workload, objective, …) the worker built
+    locally, and ``timeout_s``/``retries`` set the client's
+    retry/timeout policy.
+    """
+
+    kind: str = "local"
+    service_url: Optional[str] = None
+    env_kwargs: Optional[Dict[str, Any]] = None
+    timeout_s: float = 60.0
+    retries: int = 2
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("local", "remote"):
+            raise ExecutorError(
+                f"backend kind must be 'local' or 'remote', got {self.kind!r}"
+            )
+        if self.kind == "remote" and not self.service_url:
+            raise ExecutorError("remote backend requires a service_url")
+
+    def build(self) -> Optional[Any]:
+        """Instantiate the backend in the worker (``None`` = local)."""
+        if self.kind == "local":
+            return None
+        from repro.service.remote import RemoteBackend
+
+        return RemoteBackend(
+            self.service_url,
+            env_kwargs=self.env_kwargs,
+            timeout_s=self.timeout_s,
+            retries=self.retries,
+        )
+
+
+def resolve_execution_backend(
+    service_url: Optional[str],
+    shared_cache: bool,
+    out_dir: Optional[Any],
+    env_kwargs: Optional[Dict[str, Any]] = None,
+    timeout_s: Optional[float] = None,
+    retries: Optional[int] = None,
+) -> Tuple[Optional[BackendSpec], Optional[str], Optional[str]]:
+    """Derive a task batch's ``(backend, server_cache_url,
+    shared_cache_dir)`` from the user-facing execution knobs.
+
+    One derivation shared by :func:`repro.sweeps.runner.run_lottery_sweep`
+    and the CLI's ``collect`` so the precedence rules cannot drift:
+    ``service_url`` yields a remote :class:`BackendSpec` (with any
+    ``timeout_s``/``retries`` overrides; ``None`` keeps the spec
+    defaults); ``shared_cache`` prefers the service's ``/cache`` store
+    (cross-machine) over a file store under ``out_dir``.
+    """
+    overrides: Dict[str, Any] = {}
+    if timeout_s is not None:
+        overrides["timeout_s"] = timeout_s
+    if retries is not None:
+        overrides["retries"] = retries
+    backend = None
+    if service_url is not None:
+        backend = BackendSpec(
+            kind="remote",
+            service_url=service_url,
+            env_kwargs=env_kwargs,
+            **overrides,
+        )
+    server_cache_url = (
+        service_url if shared_cache and service_url is not None else None
+    )
+    shared_cache_dir = (
+        str(Path(out_dir) / "shared-cache")
+        if shared_cache and out_dir is not None and server_cache_url is None
+        else None
+    )
+    return backend, server_cache_url, shared_cache_dir
 
 
 @dataclass(frozen=True)
@@ -59,6 +153,15 @@ class TrialTask:
     #: open their own handle, so only the path crosses the pickle
     #: boundary. ``None`` disables the shared tier.
     shared_cache_dir: Optional[str] = None
+    #: Where the cost model runs: ``None`` (in-process) or a
+    #: :class:`BackendSpec` — e.g. remote, against an evaluation
+    #: service. The spec is plain data, so it pickles with the task.
+    backend: Optional[BackendSpec] = None
+    #: Base URL of an evaluation service whose ``/cache`` endpoints
+    #: serve as the shared cache tier (:class:`ServerCacheStore`) —
+    #: the cross-*machine* sibling of ``shared_cache_dir``, which
+    #: takes precedence if both are set.
+    server_cache_url: Optional[str] = None
 
     @property
     def source(self) -> str:
@@ -96,10 +199,26 @@ def run_trial(task: TrialTask) -> TrialOutcome:
                 env.enable_cache()
         elif task.cache is False:
             env.disable_cache()
+        remote = task.backend.build() if task.backend is not None else None
+        if remote is not None:
+            env.attach_backend(remote)
         if task.shared_cache_dir is not None:
             from repro.core.cache_store import SharedCacheStore
 
             env.attach_shared_cache(SharedCacheStore(task.shared_cache_dir))
+        elif task.server_cache_url is not None:
+            from repro.core.cache_store import ServerCacheStore
+
+            # Reuse the evaluation backend's client (and with it the
+            # task's retry/timeout policy) when the cache lives on the
+            # same service; a task with no remote backend gets a
+            # default-policy client of its own.
+            if remote is not None and remote.client.base_url == (
+                task.server_cache_url.rstrip("/")
+            ):
+                env.attach_shared_cache(ServerCacheStore(remote.client))
+            else:
+                env.attach_shared_cache(ServerCacheStore(task.server_cache_url))
         dataset: Optional[ArchGymDataset] = None
         if task.collect:
             dataset = ArchGymDataset(env.env_id)
@@ -107,13 +226,21 @@ def run_trial(task: TrialTask) -> TrialOutcome:
         agent = make_agent(
             task.agent, env.action_space, seed=task.agent_seed, **task.hyperparams
         )
-        result = run_agent(
-            agent,
-            env,
-            n_samples=task.n_samples,
-            seed=task.run_seed,
-            source_tag=task.source if task.collect else None,
-        )
+        try:
+            result = run_agent(
+                agent,
+                env,
+                n_samples=task.n_samples,
+                seed=task.run_seed,
+                source_tag=task.source if task.collect else None,
+            )
+        except ServiceError as exc:
+            # Identify the failing trial: under a process pool, the bare
+            # client error would not say which of N in-flight trials died.
+            raise ServiceError(
+                f"trial {task.source} (task index {task.index}) failed "
+                f"against the evaluation service: {exc}"
+            ) from exc
         return TrialOutcome(
             index=task.index,
             agent=task.agent,

@@ -38,6 +38,7 @@ def report_to_rows(report: SweepReport) -> List[Dict[str, Any]]:
                     "cache_hits": res.cache_hits,
                     "cache_misses": res.cache_misses,
                     "shared_cache_hits": res.shared_cache_hits,
+                    "remote_evals": res.remote_evals,
                     "hyperparameters": dict(res.hyperparameters),
                     "best_action": dict(res.best_action),
                     "best_metrics": dict(res.best_metrics),
@@ -73,7 +74,7 @@ def save_report_csv(report: SweepReport, path: str | Path) -> None:
     fieldnames = [
         "env_id", "agent", "trial", "n_samples", "best_fitness",
         "best_reward", "target_met", "wall_time_s", "sim_time_s",
-        "cache_hits", "cache_misses", "shared_cache_hits",
+        "cache_hits", "cache_misses", "shared_cache_hits", "remote_evals",
         "hyperparameters", "best_action", "best_metrics",
     ]
     with Path(path).open("w", newline="") as f:

@@ -28,7 +28,11 @@ from repro.agents.hyperparams import HYPERPARAM_GRIDS, sample_hyperparams
 from repro.core.dataset import ArchGymDataset
 from repro.core.env import ArchGymEnv
 from repro.core.errors import ArchGymError
-from repro.sweeps.executor import TrialTask, execute_trials
+from repro.sweeps.executor import (
+    TrialTask,
+    execute_trials,
+    resolve_execution_backend,
+)
 from repro.sweeps.stats import (
     FiveNumberSummary,
     hit_rate,
@@ -69,6 +73,11 @@ class SweepReport:
         """Evaluations answered by the cross-process shared store —
         design points some other trial of this sweep already paid for."""
         return sum(r.shared_cache_hits for rs in self.results.values() for r in rs)
+
+    @property
+    def remote_evals(self) -> int:
+        """Cost-model runs dispatched to a remote evaluation service."""
+        return sum(r.remote_evals for rs in self.results.values() for r in rs)
 
     @property
     def sim_time_s(self) -> float:
@@ -203,6 +212,10 @@ class SweepReport:
             lines.append(
                 f"shared cache: {self.shared_cache_hits} cross-trial hits"
             )
+        if self.remote_evals:
+            lines.append(
+                f"evaluation service: {self.remote_evals} remote evaluations"
+            )
         if boxplots:
             from repro.sweeps.plots import render_boxplots
 
@@ -250,6 +263,9 @@ def run_lottery_sweep(
     resume: bool = False,
     shared_cache: bool = False,
     env_signature: Optional[str] = None,
+    service_url: Optional[str] = None,
+    service_timeout_s: Optional[float] = None,
+    service_retries: Optional[int] = None,
 ) -> SweepReport:
     """Run the hyperparameter-lottery experiment.
 
@@ -312,14 +328,35 @@ def run_lottery_sweep(
         environment's behavior; resuming with a different signature is
         then rejected instead of silently merging two experiments.
         The CLI's factory does this for its ``--workload/--objective``.
+    service_url:
+        Dispatch every cost-model call to the
+        :class:`repro.service.EvaluationService` at this URL instead of
+        running it in the worker process — one sweep can then saturate
+        a remote simulator fleet. Environments are still built locally
+        (agents need their spaces and reward specs), seeds and trial
+        order are unchanged, and metrics round-trip JSON exactly, so
+        the report is bit-identical to an in-process run apart from
+        timing and the ``remote_evals`` counter in the footer. Like
+        ``workers``, this is a wall-clock knob and does not participate
+        in the durable-sweep fingerprint. With ``shared_cache=True``
+        the service's ``/cache`` endpoints (not a file under
+        ``out_dir``) provide the shared tier, so sweeps on *different
+        machines* reuse each other's design points.
+    service_timeout_s, service_retries:
+        Override the service client's per-attempt socket timeout and
+        transport-retry count (defaults: the
+        :class:`~repro.sweeps.executor.BackendSpec` policy). Size
+        ``service_timeout_s`` above your slowest single evaluation —
+        a timeout shorter than the cost model reads as a dead server
+        and fails the trial.
     """
     if n_trials < 1 or n_samples < 1:
         raise ArchGymError("n_trials and n_samples must be >= 1")
     validate_agent_names(agents)
     if resume and out_dir is None:
         raise ArchGymError("resume=True requires out_dir")
-    if shared_cache and out_dir is None:
-        raise ArchGymError("shared_cache=True requires out_dir")
+    if shared_cache and out_dir is None and service_url is None:
+        raise ArchGymError("shared_cache=True requires out_dir or service_url")
     rng = np.random.default_rng(seed)
     probe = env_factory()
     try:
@@ -327,8 +364,13 @@ def run_lottery_sweep(
     finally:
         probe.close()
 
-    shared_cache_dir = (
-        str(Path(out_dir) / "shared-cache") if shared_cache else None
+    backend, server_cache_url, shared_cache_dir = resolve_execution_backend(
+        service_url,
+        shared_cache,
+        out_dir,
+        env_kwargs=getattr(env_factory, "env_kwargs", None),
+        timeout_s=service_timeout_s,
+        retries=service_retries,
     )
 
     # Draw every trial's lottery ticket in the same order the serial
@@ -349,6 +391,8 @@ def run_lottery_sweep(
                     collect=collect_dataset,
                     cache=cache,
                     shared_cache_dir=shared_cache_dir,
+                    backend=backend,
+                    server_cache_url=server_cache_url,
                 )
             )
 

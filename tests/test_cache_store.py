@@ -1,12 +1,23 @@
-"""Tests for the file-backed cross-process shared evaluation cache."""
+"""Tests for the cross-process shared evaluation cache stores.
 
+``CacheStoreContract`` is the shared behavioral suite: any object with
+the ``get``/``put``/``__len__`` store interface must pass it. It runs
+against both shipped implementations — the file-backed
+:class:`SharedCacheStore` and the service-backed
+:class:`ServerCacheStore` — so a future store variant inherits the
+battery by subclassing and providing a ``make_store`` fixture that
+returns fresh *handles onto one shared backing*.
+"""
+
+import threading
 from concurrent.futures import ProcessPoolExecutor
 
 import pytest
 
-from repro.core.cache_store import SharedCacheStore, encode_key
+from repro.core.cache_store import ServerCacheStore, SharedCacheStore, encode_key
 from repro.core.env import canonical_action_key
-from repro.core.errors import ArchGymError, CacheStoreError
+from repro.core.errors import ArchGymError, CacheStoreError, ServiceError
+from repro.service import EvaluationService
 
 
 def _key(i):
@@ -20,39 +31,165 @@ def _put_from_subprocess(directory):
     return True
 
 
-class TestBasics:
-    def test_put_get_roundtrip(self, tmp_path):
-        store = SharedCacheStore(tmp_path / "cache")
+# -- the shared store contract --------------------------------------------------
+
+
+class CacheStoreContract:
+    """Behavioral contract every ``get/put/__len__`` store must honor.
+
+    Subclasses provide a ``make_store`` fixture: a zero-argument
+    callable returning a *new handle* onto one backing shared by all
+    handles the test creates — a fresh directory for the file store,
+    a fresh server for the service store.
+    """
+
+    def test_empty_store_len_zero(self, make_store):
+        assert len(make_store()) == 0
+
+    def test_put_get_roundtrip(self, make_store):
+        store = make_store()
         store.put(_key(1), {"cost": 2.5, "power": 0.125})
         assert store.get(_key(1)) == {"cost": 2.5, "power": 0.125}
 
-    def test_miss_returns_none(self, tmp_path):
-        store = SharedCacheStore(tmp_path / "cache")
-        assert store.get(_key(7)) is None
+    def test_miss_returns_none(self, make_store):
+        assert make_store().get(_key(7)) is None
 
-    def test_floats_roundtrip_exactly(self, tmp_path):
-        store = SharedCacheStore(tmp_path / "cache")
-        value = 0.1 + 0.2  # not representable exactly; must survive JSON
-        store.put(_key(2), {"cost": value})
-        fresh = SharedCacheStore(tmp_path / "cache")
-        assert fresh.get(_key(2))["cost"] == value
+    def test_floats_roundtrip_exactly_across_handles(self, make_store):
+        value = 0.1 + 0.2  # not representable exactly; must survive transport
+        make_store().put(_key(2), {"cost": value})
+        assert make_store().get(_key(2))["cost"] == value
 
-    def test_get_returns_a_copy(self, tmp_path):
-        store = SharedCacheStore(tmp_path / "cache")
+    def test_get_returns_a_copy(self, make_store):
+        store = make_store()
         store.put(_key(3), {"cost": 1.0})
         store.get(_key(3))["cost"] = 999.0
         assert store.get(_key(3))["cost"] == 1.0
 
-    def test_len_counts_distinct_keys(self, tmp_path):
-        store = SharedCacheStore(tmp_path / "cache")
+    def test_len_counts_distinct_keys(self, make_store):
+        store = make_store()
         for i in range(10):
             store.put(_key(i), {"cost": float(i)})
         store.put(_key(0), {"cost": 0.0})  # idempotent re-put
         assert len(store) == 10
 
+    def test_writes_visible_across_handles(self, make_store):
+        reader = make_store()
+        assert reader.get(_key(6)) is None  # prime any local view
+        make_store().put(_key(6), {"cost": 6.0})
+        assert reader.get(_key(6)) == {"cost": 6.0}
+
+    def test_encode_key_near_collisions_stay_distinct(self, make_store):
+        """Keys that stringify similarly (int vs str values, nesting vs
+        flat, swapped name/value pairing) must be distinct entries."""
+        store = make_store()
+        lookalikes = [
+            canonical_action_key({"x": 1}),
+            canonical_action_key({"x": "1"}),
+            canonical_action_key({"x": (1,)}),
+            canonical_action_key({"x": 1, "y": 2}),
+            canonical_action_key({"y": 1, "x": 2}),
+            canonical_action_key({"x, y": 1}),
+        ]
+        assert len({encode_key(k) for k in lookalikes}) == len(lookalikes)
+        for i, key in enumerate(lookalikes):
+            store.put(key, {"cost": float(i)})
+        for i, key in enumerate(lookalikes):
+            assert store.get(key) == {"cost": float(i)}
+        assert len(store) == len(lookalikes)
+
+    def test_concurrent_writers(self, make_store):
+        """8 threads, each with its own handle, write disjoint keys;
+        every entry must land and count exactly once."""
+        per_thread, n_threads = 8, 8
+        errors = []
+
+        def write(thread_idx):
+            try:
+                store = make_store()
+                for j in range(per_thread):
+                    i = thread_idx * per_thread + j
+                    store.put(_key(i), {"cost": float(i)})
+            except Exception as exc:  # surfaced after the join
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=write, args=(t,)) for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        store = make_store()
+        assert len(store) == per_thread * n_threads
+        for i in range(per_thread * n_threads):
+            assert store.get(_key(i)) == {"cost": float(i)}
+
+
+class TestSharedCacheStoreContract(CacheStoreContract):
+    @pytest.fixture()
+    def make_store(self, tmp_path):
+        return lambda: SharedCacheStore(tmp_path / "cache")
+
+
+class TestServerCacheStoreContract(CacheStoreContract):
+    @pytest.fixture()
+    def make_store(self):
+        with EvaluationService() as svc:
+            yield lambda: ServerCacheStore(
+                svc.url, timeout_s=10.0, retries=1, backoff_s=0.01
+            )
+
+
+# -- SharedCacheStore specifics --------------------------------------------------
+
+
+class TestSharedStoreBasics:
     def test_bad_n_shards_rejected(self, tmp_path):
         with pytest.raises(ArchGymError):
             SharedCacheStore(tmp_path / "cache", n_shards=0)
+
+    def test_get_on_deleted_directory_returns_none(self, tmp_path):
+        """Regression: a shard directory removed out from under the
+        store (cleanup racing a long-lived process) is an empty cache,
+        not a crash."""
+        import shutil
+
+        store = SharedCacheStore(tmp_path / "cache")
+        store.put(_key(1), {"cost": 1.0})
+        fresh = SharedCacheStore(tmp_path / "cache")  # nothing read yet
+        shutil.rmtree(tmp_path / "cache")
+        assert fresh.get(_key(1)) is None
+        assert fresh.get(_key(2)) is None
+        assert len(fresh) == 0
+
+    def test_put_recreates_deleted_directory(self, tmp_path):
+        import shutil
+
+        store = SharedCacheStore(tmp_path / "cache")
+        shutil.rmtree(tmp_path / "cache")
+        store.put(_key(5), {"cost": 5.0})
+        assert SharedCacheStore(tmp_path / "cache").get(_key(5)) == {"cost": 5.0}
+
+    def test_durable_put_fsyncs(self, tmp_path, monkeypatch):
+        """Regression for the documented O_APPEND durability contract:
+        ``durable=True`` must fsync each append, the default must not
+        (it trades an entry-on-crash for write latency, never
+        correctness)."""
+        import os as os_module
+
+        synced = []
+        real_fsync = os_module.fsync
+        monkeypatch.setattr(
+            "repro.core.cache_store.os.fsync",
+            lambda fd: (synced.append(fd), real_fsync(fd)),
+        )
+        fast = SharedCacheStore(tmp_path / "fast")
+        fast.put(_key(1), {"cost": 1.0})
+        assert synced == []
+        durable = SharedCacheStore(tmp_path / "durable", durable=True)
+        durable.put(_key(1), {"cost": 1.0})
+        assert len(synced) == 1
 
 
 class TestSharding:
@@ -77,17 +214,6 @@ class TestSharding:
 
 
 class TestCrossProcessVisibility:
-    def test_persistence_across_store_instances(self, tmp_path):
-        SharedCacheStore(tmp_path / "cache").put(_key(5), {"cost": 5.0})
-        assert SharedCacheStore(tmp_path / "cache").get(_key(5)) == {"cost": 5.0}
-
-    def test_entries_written_after_open_become_visible(self, tmp_path):
-        reader = SharedCacheStore(tmp_path / "cache")
-        assert reader.get(_key(6)) is None  # prime the reader's offsets
-        writer = SharedCacheStore(tmp_path / "cache")
-        writer.put(_key(6), {"cost": 6.0})
-        assert reader.get(_key(6)) == {"cost": 6.0}  # tail re-read, no reopen
-
     def test_write_from_real_subprocess(self, tmp_path):
         directory = str(tmp_path / "cache")
         reader = SharedCacheStore(directory)
@@ -117,6 +243,38 @@ class TestCorruptionTolerance:
         fresh = SharedCacheStore(tmp_path / "cache", n_shards=1)
         assert fresh.get(_key(1)) == {"cost": 1.0}
         assert fresh.get(_key(2)) == {"cost": 2.0}
+
+
+class TestServerStoreSpecifics:
+    def test_unreachable_server_fails_loudly(self):
+        import socket
+
+        with socket.socket() as s:
+            s.bind(("127.0.0.1", 0))
+            port = s.getsockname()[1]
+        store = ServerCacheStore(
+            f"http://127.0.0.1:{port}", timeout_s=1.0, retries=0, backoff_s=0.01
+        )
+        with pytest.raises(ServiceError):
+            store.get(_key(1))
+        with pytest.raises(ServiceError):
+            store.put(_key(1), {"cost": 1.0})
+
+    def test_accepts_existing_client(self):
+        from repro.service import ServiceClient
+
+        client = ServiceClient("http://127.0.0.1:1", timeout_s=1.0, retries=0)
+        store = ServerCacheStore(client)
+        assert store._client is client
+
+    def test_client_with_policy_kwargs_rejected(self):
+        """Kwargs alongside a ready-made client would be silently
+        discarded — refuse instead."""
+        from repro.service import ServiceClient
+
+        client = ServiceClient("http://127.0.0.1:1", timeout_s=1.0, retries=0)
+        with pytest.raises(CacheStoreError, match="client_kwargs"):
+            ServerCacheStore(client, timeout_s=5.0)
 
 
 class TestKeyEncoding:

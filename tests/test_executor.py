@@ -16,12 +16,14 @@ import time
 import numpy as np
 import pytest
 
+import pickle
+
 from repro.core.dataset import ArchGymDataset, Transition
 from repro.core.env import ArchGymEnv, canonical_action_key
 from repro.core.errors import ArchGymError, ExecutorError
 from repro.core.rewards import TargetReward
 from repro.core.spaces import Categorical, CompositeSpace, Discrete
-from repro.sweeps import TrialTask, execute_trials, run_lottery_sweep
+from repro.sweeps import BackendSpec, TrialTask, execute_trials, run_lottery_sweep
 from repro.sweeps.executor import run_trial
 
 
@@ -393,6 +395,93 @@ class TestExecutor:
         # completion order may vary; the streamed set must not
         assert sorted(o.index for o in streamed) == [0, 1, 2, 3]
         assert [o.index for o in outcomes] == [0, 1, 2, 3]
+
+
+class TestBackendSpec:
+    """The serializable "where does evaluate() run" half of a task.
+
+    Live service integration is covered in tests/test_service.py; this
+    battery pins the spec's validation and pickle contract, which the
+    process pool depends on.
+    """
+
+    def test_default_is_local(self):
+        spec = BackendSpec()
+        assert spec.kind == "local"
+        assert spec.build() is None
+
+    def test_task_without_backend_runs_locally(self):
+        task = TrialTask(
+            index=0, agent="rw", hyperparams={"locality": 0.2},
+            agent_seed=1, run_seed=1, n_samples=5, env_factory=CountingEnv,
+        )
+        assert run_trial(task).result.remote_evals == 0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ExecutorError, match="kind"):
+            BackendSpec(kind="carrier-pigeon")
+
+    def test_remote_requires_service_url(self):
+        with pytest.raises(ExecutorError, match="service_url"):
+            BackendSpec(kind="remote")
+
+    def test_remote_spec_builds_remote_backend(self):
+        from repro.service import RemoteBackend
+
+        spec = BackendSpec(
+            kind="remote", service_url="http://127.0.0.1:1",
+            env_kwargs={"workload": "stream"}, timeout_s=5.0, retries=1,
+        )
+        backend = spec.build()
+        assert isinstance(backend, RemoteBackend)
+        assert backend.env_kwargs == {"workload": "stream"}
+        assert backend.client.timeout_s == 5.0
+        assert backend.client.retries == 1
+
+    def test_resolve_execution_backend_precedence(self):
+        from repro.sweeps import resolve_execution_backend
+
+        # no service: no backend; shared cache falls back to the out-dir
+        backend, cache_url, cache_dir = resolve_execution_backend(
+            None, True, "/tmp/run"
+        )
+        assert backend is None and cache_url is None
+        assert cache_dir.endswith("shared-cache")
+        # service + shared cache: the service hosts the cache, even
+        # when an out-dir is also present (cross-machine reuse wins)
+        backend, cache_url, cache_dir = resolve_execution_backend(
+            "http://127.0.0.1:1", True, "/tmp/run",
+            env_kwargs={"workload": "stream"},
+        )
+        assert backend.kind == "remote"
+        assert backend.env_kwargs == {"workload": "stream"}
+        assert cache_url == "http://127.0.0.1:1" and cache_dir is None
+
+    def test_resolve_execution_backend_policy_overrides(self):
+        from repro.sweeps import resolve_execution_backend
+
+        backend, _, _ = resolve_execution_backend(
+            "http://127.0.0.1:1", False, None, timeout_s=5.0, retries=0
+        )
+        assert backend.timeout_s == 5.0 and backend.retries == 0
+        defaulted, _, _ = resolve_execution_backend(
+            "http://127.0.0.1:1", False, None
+        )
+        assert defaulted.timeout_s == BackendSpec().timeout_s
+        assert defaulted.retries == BackendSpec().retries
+
+    def test_spec_and_task_pickle(self):
+        """The whole point of a spec: it crosses the process boundary
+        even though a live HTTP client would not."""
+        spec = BackendSpec(kind="remote", service_url="http://127.0.0.1:1")
+        task = TrialTask(
+            index=0, agent="rw", hyperparams={}, agent_seed=1, run_seed=1,
+            n_samples=5, env_factory=CountingEnv, backend=spec,
+            server_cache_url="http://127.0.0.1:1",
+        )
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone.backend == spec
+        assert clone.server_cache_url == "http://127.0.0.1:1"
 
 
 class TestFailFastShutdown:

@@ -1,0 +1,430 @@
+"""Tests for the remote evaluation service (server, client, backend).
+
+Three load-bearing guarantees:
+
+1. **Transparency** — an unmodified agent driving an env with a
+   :class:`RemoteBackend` attached produces bit-identical results to
+   in-process evaluation (metrics survive the JSON round trip exactly;
+   reward/caching/episode accounting never left the client).
+2. **Parity at the sweep level** — the same seeded sweep run
+   in-process, with ``workers=4``, and against a live service yields
+   bit-identical :class:`SweepReport`s (trial order, metrics,
+   provenance tags), extending the worker-invariance battery in
+   ``tests/test_executor.py``.
+3. **Loud failure** — dropped connections, torn bodies, timeouts, and
+   a mid-sweep server death surface as :class:`ServiceError` naming
+   the failing trial; never a hang, never a silently wrong metric.
+"""
+
+import socket
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+import pytest
+
+from repro.core.env import ArchGymEnv
+from repro.core.errors import ServiceError
+from repro.core.rewards import TargetReward
+from repro.core.spaces import Categorical, CompositeSpace, Discrete
+from repro.service import EvaluationService, RemoteBackend, RemoteEnv, ServiceClient
+from repro.service.wire import key_to_token, token_to_key
+from repro.sweeps import run_lottery_sweep
+
+
+class SvcCountingEnv(ArchGymEnv):
+    """16-point deterministic space; counts real cost-model runs.
+
+    Module-level so tasks pickle across the process boundary in the
+    ``workers=4`` parity leg.
+    """
+
+    env_id = "SvcCounting-v0"
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(
+            action_space=CompositeSpace(
+                [Discrete("x", 0, 7, 1), Categorical("m", ("a", "b"))]
+            ),
+            observation_metrics=["cost"],
+            reward_spec=TargetReward("cost", target=1.0),
+            episode_length=10_000,
+        )
+        self.scale = scale
+        self.evaluations = 0
+
+    def evaluate(self, action):
+        self.evaluations += 1
+        # 0.30000000000000004-style floats: JSON round-trip must be exact
+        base = 0.1 + 0.2 + abs(action["x"] - 5) + (action["m"] == "a")
+        return {"cost": self.scale * base}
+
+
+class CrashingEnv(SvcCountingEnv):
+    env_id = "Crashing-v0"
+
+    def evaluate(self, action):
+        raise RuntimeError("simulator exploded")
+
+
+class MultiMetricEnv(SvcCountingEnv):
+    """Metric keys deliberately not in sorted order."""
+
+    env_id = "MultiMetric-v0"
+
+    def evaluate(self, action):
+        cost = super().evaluate(action)["cost"]
+        return {"runtime": cost, "area": 2.0 * cost, "energy": 0.5 * cost}
+
+
+@pytest.fixture()
+def service():
+    svc = EvaluationService()
+    svc.register("SvcCounting-v0", SvcCountingEnv)
+    svc.register("Crashing-v0", CrashingEnv)
+    svc.register("MultiMetric-v0", MultiMetricEnv)
+    svc.start()
+    yield svc
+    svc.stop()
+
+
+@pytest.fixture()
+def client(service):
+    return ServiceClient(service.url, timeout_s=10.0, retries=1, backoff_s=0.01)
+
+
+def _free_port() -> int:
+    """A port nothing is listening on (bind, read it back, close)."""
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+class TestWireFormat:
+    def test_key_token_roundtrip(self):
+        key = '[["m","a"],["x",3]]'
+        assert token_to_key(key_to_token(key)) == key
+
+    def test_token_is_url_path_safe(self):
+        token = key_to_token('{"quotes", [brackets] / slashes?}')
+        assert all(c.isalnum() or c in "-_" for c in token)
+
+    def test_bad_token_raises_service_error(self):
+        with pytest.raises(ServiceError, match="token"):
+            token_to_key("!!not base64!!")
+
+
+class TestServerEndpoints:
+    def test_healthz_inventory(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert "SvcCounting-v0" in health["envs"]
+        assert health["evaluations"] == 0
+
+    def test_evaluate_matches_local_bit_exactly(self, client):
+        env = SvcCountingEnv()
+        action = {"x": 3, "m": "a"}
+        local = env.evaluate(action)
+        remote = client.evaluate("SvcCounting-v0", action)
+        assert remote == local  # exact float equality, not approx
+
+    def test_metric_key_order_survives_the_wire(self, client):
+        """Dataset JSONL / shard files serialized from a remote run must
+        be *byte*-identical to in-process ones, so the wire must not
+        reorder the cost model's metric dict."""
+        env = MultiMetricEnv()
+        action = {"x": 3, "m": "a"}
+        remote = client.evaluate("MultiMetric-v0", action)
+        assert list(remote) == list(env.evaluate(action))
+
+    def test_evaluate_counts_on_healthz(self, client):
+        client.evaluate("SvcCounting-v0", {"x": 1, "m": "b"})
+        assert client.healthz()["evaluations"] == 1
+
+    def test_numpy_action_values_accepted(self, client):
+        plain = client.evaluate("SvcCounting-v0", {"x": 4, "m": "a"})
+        numpyish = client.evaluate("SvcCounting-v0", {"x": np.int64(4), "m": "a"})
+        assert plain == numpyish
+
+    def test_env_kwargs_select_instance(self, client):
+        base = client.evaluate("SvcCounting-v0", {"x": 3, "m": "a"})
+        scaled = client.evaluate(
+            "SvcCounting-v0", {"x": 3, "m": "a"}, env_kwargs={"scale": 2.0}
+        )
+        assert scaled["cost"] == 2.0 * base["cost"]
+
+    def test_unknown_env_is_service_error(self, client):
+        with pytest.raises(ServiceError, match="Nope-v0"):
+            client.evaluate("Nope-v0", {"x": 1})
+
+    def test_cost_model_crash_is_service_error_not_hang(self, client):
+        with pytest.raises(ServiceError, match="simulator exploded"):
+            client.evaluate("Crashing-v0", {"x": 1, "m": "a"})
+
+    def test_unknown_route_is_service_error(self, client):
+        with pytest.raises(ServiceError, match="no route"):
+            client._checked("GET", "/nope")
+
+    def test_cache_roundtrip(self, client):
+        assert client.cache_get("some-key") is None
+        client.cache_put("some-key", {"cost": 0.1 + 0.2})
+        assert client.cache_get("some-key") == {"cost": 0.1 + 0.2}
+        assert client.cache_size() == 1
+
+    def test_double_start_rejected(self, service):
+        with pytest.raises(ServiceError, match="already started"):
+            service.start()
+
+    def test_duplicate_registration_rejected(self, service):
+        with pytest.raises(ServiceError, match="already registered"):
+            service.register("SvcCounting-v0", SvcCountingEnv)
+
+
+class TestRemoteBackend:
+    def test_remote_env_steps_without_local_evaluations(self, service):
+        env = RemoteEnv(SvcCountingEnv(), service.url)
+        env.reset(seed=0)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            env.step(env.action_space.sample(rng))
+        assert env.evaluations == 0  # the local instance never simulated
+        assert env.stats.remote_evals == 5  # every step went over the wire
+
+    def test_local_lru_still_shields_the_network(self, service):
+        env = RemoteEnv(SvcCountingEnv(), service.url)
+        env.enable_cache()
+        env.reset(seed=0)
+        action = {"x": 2, "m": "b"}
+        env.step(action)
+        env.step(action)
+        assert env.stats.remote_evals == 1
+        assert env.stats.cache_hits == 1
+
+    def test_detach_backend_returns_to_local(self, service):
+        env = RemoteEnv(SvcCountingEnv(), service.url)
+        backend = env.detach_backend()
+        assert isinstance(backend, RemoteBackend)
+        env.reset(seed=0)
+        env.step({"x": 2, "m": "b"})
+        assert env.evaluations == 1 and env.stats.remote_evals == 0
+
+    def test_env_kwargs_forwarded(self, service):
+        local = SvcCountingEnv(scale=3.0)
+        remote = RemoteEnv(SvcCountingEnv(scale=3.0), service.url,
+                           env_kwargs={"scale": 3.0})
+        action = {"x": 0, "m": "a"}
+        assert remote._dispatch_evaluate(action) == local.evaluate(action)
+
+
+def _normalized_records(report):
+    """Every trial's full record in trial order, with the fields that
+    legitimately differ across execution modes (timing; where the
+    simulator ran) zeroed. Everything else must match bit-for-bit."""
+    rows = []
+    for agent in sorted(report.results):
+        for res in report.results[agent]:
+            rec = res.to_record()
+            rec["wall_time_s"] = 0.0
+            rec["sim_time_s"] = 0.0
+            rec["remote_evals"] = 0
+            rows.append(rec)
+    return rows
+
+
+class TestServiceSweepParity:
+    """The acceptance battery: one seeded sweep, three execution modes,
+    three bit-identical reports."""
+
+    KW = dict(
+        agents=("rw", "ga"), n_trials=2, n_samples=15, seed=9,
+        collect_dataset=True,
+    )
+
+    @pytest.fixture()
+    def reports(self, service):
+        in_process = run_lottery_sweep(SvcCountingEnv, workers=1, **self.KW)
+        parallel = run_lottery_sweep(SvcCountingEnv, workers=4, **self.KW)
+        remote = run_lottery_sweep(
+            SvcCountingEnv, workers=1, service_url=service.url, **self.KW
+        )
+        return in_process, parallel, remote
+
+    def test_three_modes_bit_identical(self, reports):
+        in_process, parallel, remote = reports
+        assert _normalized_records(in_process) == _normalized_records(parallel)
+        assert _normalized_records(in_process) == _normalized_records(remote)
+
+    def test_trial_order_and_provenance_tags(self, reports):
+        in_process, parallel, remote = reports
+        for other in (parallel, remote):
+            assert [t.to_record() for t in in_process.dataset] == [
+                t.to_record() for t in other.dataset
+            ]
+            assert in_process.dataset.sources == other.dataset.sources
+
+    def test_remote_mode_actually_used_the_service(self, reports):
+        in_process, parallel, remote = reports
+        assert in_process.remote_evals == 0
+        assert parallel.remote_evals == 0
+        # with no cache tier in play, every sample went over the wire
+        n_trials_total = len(self.KW["agents"]) * self.KW["n_trials"]
+        assert remote.remote_evals == n_trials_total * self.KW["n_samples"]
+        assert "evaluation service" in remote.print_table()
+
+    def test_parallel_workers_against_live_service(self, service):
+        """Remote dispatch composes with the process pool."""
+        kw = dict(agents=("rw",), n_trials=2, n_samples=10, seed=4)
+        serial = run_lottery_sweep(SvcCountingEnv, workers=1, **kw)
+        fanned = run_lottery_sweep(
+            SvcCountingEnv, workers=2, service_url=service.url, **kw
+        )
+        assert _normalized_records(serial) == _normalized_records(fanned)
+        assert fanned.remote_evals > 0
+
+    def test_server_cache_store_as_shared_tier(self, service):
+        """`shared_cache=True` + `service_url` uses the service's /cache:
+        a second sweep re-uses the first sweep's design points."""
+        kw = dict(agents=("rw",), n_trials=2, n_samples=20, seed=2)
+        baseline = run_lottery_sweep(SvcCountingEnv, **kw)
+        first = run_lottery_sweep(
+            SvcCountingEnv, service_url=service.url, shared_cache=True, **kw
+        )
+        second = run_lottery_sweep(
+            SvcCountingEnv, service_url=service.url, shared_cache=True, **kw
+        )
+        # fitness identical with and without any cache tier
+        assert _normalized_shared(baseline) == _normalized_shared(first)
+        assert _normalized_shared(first) == _normalized_shared(second)
+        # the re-run answered every would-be miss from the server store
+        assert second.shared_cache_hits > 0
+        assert second.remote_evals == 0
+
+
+def _normalized_shared(report):
+    """Like _normalized_records but also blind to which cache tier
+    answered (hit/miss splits shift when a shared tier is attached)."""
+    rows = _normalized_records(report)
+    for rec in rows:
+        rec["cache_hits"] = rec["cache_misses"] = rec["shared_cache_hits"] = 0
+    return rows
+
+
+# -- fault injection ------------------------------------------------------------
+
+
+class _TornBodyHandler(BaseHTTPRequestHandler):
+    """Answers every request with truncated, unparseable JSON."""
+
+    def log_message(self, *args):
+        pass
+
+    def _torn(self):
+        body = b'{"metrics": {"cost": 1.'  # truncated mid-float
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_GET = do_POST = do_PUT = _torn
+
+
+class _SlowHandler(BaseHTTPRequestHandler):
+    """Stalls far longer than any client timeout before replying."""
+
+    def log_message(self, *args):
+        pass
+
+    def _stall(self):
+        time.sleep(10.0)
+
+    do_GET = do_POST = do_PUT = _stall
+
+
+@pytest.fixture()
+def misbehaving_server(request):
+    httpd = ThreadingHTTPServer(("127.0.0.1", 0), request.param)
+    httpd.daemon_threads = True
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{httpd.server_address[1]}"
+    httpd.shutdown()
+    httpd.server_close()
+
+
+class TestFaultInjection:
+    def test_connection_refused_is_service_error(self):
+        client = ServiceClient(
+            f"http://127.0.0.1:{_free_port()}",
+            timeout_s=2.0, retries=1, backoff_s=0.01,
+        )
+        with pytest.raises(ServiceError, match="after 2 attempt"):
+            client.evaluate("SvcCounting-v0", {"x": 1, "m": "a"})
+
+    @pytest.mark.parametrize(
+        "misbehaving_server", [_TornBodyHandler], indirect=True
+    )
+    def test_torn_body_is_service_error(self, misbehaving_server):
+        client = ServiceClient(
+            misbehaving_server, timeout_s=2.0, retries=1, backoff_s=0.01
+        )
+        with pytest.raises(ServiceError, match="after 2 attempt"):
+            client.evaluate("SvcCounting-v0", {"x": 1, "m": "a"})
+        with pytest.raises(ServiceError):
+            client.cache_get("any-key")
+
+    @pytest.mark.parametrize("misbehaving_server", [_SlowHandler], indirect=True)
+    def test_slow_response_hits_timeout_not_hang(self, misbehaving_server):
+        client = ServiceClient(
+            misbehaving_server, timeout_s=0.3, retries=0, backoff_s=0.01
+        )
+        start = time.perf_counter()
+        with pytest.raises(ServiceError, match="timeout"):
+            client.evaluate("SvcCounting-v0", {"x": 1, "m": "a"})
+        elapsed = time.perf_counter() - start
+        assert elapsed < 5.0, f"timeout took {elapsed:.1f}s — client hung"
+
+    def test_invalid_url_rejected_up_front(self):
+        with pytest.raises(ServiceError, match="http"):
+            ServiceClient("ftp://example.com")
+
+    def test_bad_retry_config_rejected(self):
+        with pytest.raises(ServiceError):
+            ServiceClient("http://127.0.0.1:1", timeout_s=0)
+        with pytest.raises(ServiceError):
+            ServiceClient("http://127.0.0.1:1", retries=-1)
+
+    def test_mid_sweep_server_death_names_the_trial(self):
+        """The server dies partway through trial rw/0: the sweep must
+        fail with a ServiceError identifying that trial — promptly,
+        not after a hang, and never with a fabricated metric."""
+        svc = EvaluationService()
+
+        class DyingEnv(SvcCountingEnv):
+            env_id = "SvcCounting-v0"  # what the client asks for
+            calls = 0
+
+            def evaluate(self, action):
+                type(self).calls += 1
+                if type(self).calls == 6:
+                    # kill the listener from a handler thread; the
+                    # in-flight response still completes
+                    threading.Thread(target=svc.stop, daemon=True).start()
+                    time.sleep(0.2)
+                return super().evaluate(action)
+
+        svc.register("SvcCounting-v0", DyingEnv)
+        url = svc.start()
+        try:
+            start = time.perf_counter()
+            with pytest.raises(ServiceError, match=r"trial rw/0"):
+                run_lottery_sweep(
+                    SvcCountingEnv,
+                    agents=("rw",), n_trials=2, n_samples=20, seed=1,
+                    cache=False, service_url=url,
+                )
+            elapsed = time.perf_counter() - start
+            assert elapsed < 30.0, f"sweep hung {elapsed:.1f}s after server death"
+        finally:
+            svc.stop()

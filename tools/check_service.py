@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Evaluation-service integration check (CI's `service` job).
+
+Drives the real CLI end to end, mirroring tools/check_resume.py:
+
+1. launches ``python -m repro serve`` on a free port and waits for
+   ``GET /healthz`` to answer;
+2. runs a seeded sweep through the service (``--service-url``) and
+   exports the report;
+3. runs the identical sweep in-process into a second export;
+4. diffs the two reports — trial order, metrics, hyperparameters, and
+   cache counters must match exactly (timing fields and the
+   remote-evaluation counter, which legitimately differ, are zeroed);
+5. asserts the service run really did dispatch remotely (non-zero
+   ``remote_evals`` per trial, non-zero ``evaluations`` on healthz).
+
+Exit code 0 means the service-backed report is bit-identical to the
+in-process one. Usage: ``python tools/check_service.py`` (repo root;
+sets PYTHONPATH=src for its children itself).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import select
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from tempfile import mkdtemp
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SWEEP_ARGS = [
+    "sweep", "--env", "DRAMGym-v0", "--agents", "rw,ga",
+    "--trials", "2", "--samples", "40", "--seed", "11", "--workers", "1",
+]
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def _cli(*args: str) -> list[str]:
+    return [sys.executable, "-m", "repro", *args]
+
+
+def _wait_for_url(proc: subprocess.Popen) -> str:
+    """Parse the bound URL from the serve banner, then poll healthz.
+
+    The banner read sits under the same deadline as the health poll —
+    a server that stalls before printing must fail the job in a
+    minute, not hang it until the CI-level timeout.
+    """
+    deadline = time.monotonic() + 60
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise RuntimeError("server never printed its startup banner")
+        if proc.poll() is not None:
+            raise RuntimeError("server exited before printing its banner")
+        ready, _, _ = select.select([proc.stdout], [], [], min(remaining, 0.5))
+        if ready:
+            break
+    line = proc.stdout.readline().strip()
+    if " at http://" not in line:
+        raise RuntimeError(f"unexpected serve banner: {line!r}")
+    url = line.rsplit(" at ", 1)[1]
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError("server exited before becoming healthy")
+        try:
+            with urllib.request.urlopen(url + "/healthz", timeout=2) as resp:
+                health = json.loads(resp.read())
+            if health.get("status") == "ok":
+                return url
+        except (urllib.error.URLError, OSError, ValueError):
+            time.sleep(0.05)
+    raise RuntimeError("server never answered /healthz")
+
+
+def _healthz(url: str) -> dict:
+    with urllib.request.urlopen(url + "/healthz", timeout=5) as resp:
+        return json.loads(resp.read())
+
+
+def _normalized_rows(export_path: Path, expect_remote: bool) -> dict:
+    payload = json.loads(export_path.read_text())
+    for row in payload["rows"]:
+        if expect_remote and row["remote_evals"] <= 0:
+            raise RuntimeError(
+                f"trial {row['agent']}/{row['trial']} reports zero remote "
+                "evaluations — the sweep did not go through the service"
+            )
+        if not expect_remote and row["remote_evals"] != 0:
+            raise RuntimeError(
+                f"in-process trial {row['agent']}/{row['trial']} reports "
+                "remote evaluations"
+            )
+        row["wall_time_s"] = 0.0
+        row["sim_time_s"] = 0.0
+        row["remote_evals"] = 0
+    return payload
+
+
+def main() -> int:
+    workdir = Path(mkdtemp(prefix="archgym-service-check-"))
+    service_export = workdir / "service.json"
+    clean_export = workdir / "clean.json"
+
+    # 1. launch the server on a free port
+    server = subprocess.Popen(
+        _cli("serve", "--envs", "DRAMGym-v0", "--port", "0"),
+        env=_env(), cwd=REPO_ROOT,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    try:
+        url = _wait_for_url(server)
+        print(f"server healthy at {url}")
+
+        # 2. the same sweep, through the service
+        subprocess.run(
+            _cli(*SWEEP_ARGS, "--service-url", url,
+                 "--export", str(service_export)),
+            env=_env(), cwd=REPO_ROOT, check=True, stdout=subprocess.DEVNULL,
+            timeout=600,
+        )
+        evaluations = _healthz(url)["evaluations"]
+        if evaluations <= 0:
+            print("FAIL: server reports zero evaluations after the sweep")
+            return 1
+        print(f"service sweep done ({evaluations} server-side evaluations)")
+    finally:
+        server.terminate()
+        server.wait(timeout=30)
+
+    # 3. in-process reference run
+    subprocess.run(
+        _cli(*SWEEP_ARGS, "--export", str(clean_export)),
+        env=_env(), cwd=REPO_ROOT, check=True, stdout=subprocess.DEVNULL,
+        timeout=600,
+    )
+
+    # 4./5. diff (remote participation already asserted during load)
+    remote = _normalized_rows(service_export, expect_remote=True)
+    clean = _normalized_rows(clean_export, expect_remote=False)
+    if remote != clean:
+        print("FAIL: service-backed report differs from the in-process run")
+        for i, (r, c) in enumerate(zip(remote["rows"], clean["rows"])):
+            if r != c:
+                print(f"  row {i} service:    {json.dumps(r, sort_keys=True)}")
+                print(f"  row {i} in-process: {json.dumps(c, sort_keys=True)}")
+        return 1
+    print("OK: service-backed report is identical to the in-process run")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
