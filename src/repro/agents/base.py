@@ -109,6 +109,10 @@ class SearchResult:
     cache_misses: int = 0
     shared_cache_hits: int = 0
     remote_evals: int = 0
+    #: ``remote_evals`` broken down by the evaluation host that
+    #: answered — empty for in-process runs, one entry per host a
+    #: multi-host pool used for this trial.
+    remote_hosts: Dict[str, int] = field(default_factory=dict)
 
     def fitness_at(self, n: int) -> float:
         """Best fitness after the first ``n`` samples (sample-budget view,
@@ -142,6 +146,9 @@ class SearchResult:
             "cache_misses": int(self.cache_misses),
             "shared_cache_hits": int(self.shared_cache_hits),
             "remote_evals": int(self.remote_evals),
+            "remote_hosts": {
+                str(h): int(n) for h, n in self.remote_hosts.items()
+            },
         }
 
     @classmethod
@@ -165,6 +172,10 @@ class SearchResult:
             cache_misses=int(record.get("cache_misses", 0)),
             shared_cache_hits=int(record.get("shared_cache_hits", 0)),
             remote_evals=int(record.get("remote_evals", 0)),
+            remote_hosts={
+                str(h): int(n)
+                for h, n in dict(record.get("remote_hosts", {})).items()
+            },
         )
 
 
@@ -195,6 +206,7 @@ def run_agent(
     misses_0 = env.stats.cache_misses
     shared_0 = env.stats.shared_cache_hits
     remote_0 = env.stats.remote_evals
+    hosts_0 = dict(env.stats.remote_evals_by_host)
 
     start = time.perf_counter()
     env.reset(seed=seed)
@@ -242,4 +254,9 @@ def run_agent(
         cache_misses=env.stats.cache_misses - misses_0,
         shared_cache_hits=env.stats.shared_cache_hits - shared_0,
         remote_evals=env.stats.remote_evals - remote_0,
+        remote_hosts={
+            host: count - hosts_0.get(host, 0)
+            for host, count in env.stats.remote_evals_by_host.items()
+            if count - hosts_0.get(host, 0) > 0
+        },
     )

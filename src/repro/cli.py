@@ -29,9 +29,13 @@ such a directory and runs only the missing trials, and
 out-dir so concurrent trials reuse each other's evaluations.
 ``--service-url URL`` dispatches every cost-model call to a running
 ``repro serve`` instance instead of evaluating in-process — results
-stay bit-identical (same seeds, same trial order); with
-``--shared-cache`` the service also hosts the shared design-point
-cache, so sweeps on different machines reuse each other's evaluations.
+stay bit-identical (same seeds, same trial order); repeat the flag to
+spread one sweep over several hosts (least-load scheduling, automatic
+failover when a host dies). With ``--shared-cache`` the (first)
+service also hosts the shared design-point cache, so sweeps on
+different machines reuse each other's evaluations, and
+``--service-batch`` routes evaluations through the batched endpoint
+with server-side memoization.
 """
 
 from __future__ import annotations
@@ -176,11 +180,18 @@ def _add_durability_args(parser: argparse.ArgumentParser) -> None:
                              "trials/processes via a file-backed cache "
                              "under --out-dir (or, with --service-url, "
                              "the service's /cache store)")
-    parser.add_argument("--service-url", default=None,
+    parser.add_argument("--service-url", default=None, action="append",
                         help="dispatch cost-model evaluations to the "
                              "`repro serve` instance at this URL instead "
                              "of running them in-process (results stay "
-                             "bit-identical)")
+                             "bit-identical); repeat the flag to spread "
+                             "the sweep over several hosts with "
+                             "least-load scheduling and failover")
+    parser.add_argument("--service-batch", action="store_true",
+                        help="route service evaluations through "
+                             "POST /evaluate_batch so the server "
+                             "memoizes design points into its /cache "
+                             "store (results stay bit-identical)")
     parser.add_argument("--service-timeout", type=float, default=None,
                         metavar="SECONDS",
                         help="per-attempt socket timeout for service "
@@ -246,6 +257,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         shared_cache=args.shared_cache, service_url=args.service_url,
         service_timeout_s=args.service_timeout,
         service_retries=args.service_retries,
+        service_batch=args.service_batch,
     )
     print(report.print_table(boxplots=args.boxplots))
     if args.export:
@@ -273,6 +285,7 @@ def _cmd_collect(args: argparse.Namespace) -> int:
         args.service_url, args.shared_cache, args.out_dir,
         env_kwargs=factory.env_kwargs,
         timeout_s=args.service_timeout, retries=args.service_retries,
+        batch=args.service_batch,
     )
     tasks = [
         TrialTask(

@@ -35,6 +35,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -108,8 +109,14 @@ class SharedCacheStore:
         return self.get_encoded(encode_key(key))
 
     def put(self, key: ActionKey, metrics: Dict[str, float]) -> None:
-        """Append one entry (idempotent: a key this process already
-        holds is not re-written).
+        """Append one entry.
+
+        Idempotent: a key this process already holds *with the same
+        metrics* is not re-written. A different value for a held key is
+        appended — readers fold shard lines in file order, so the store
+        is last-writer-wins for fresh handles (a handle that already
+        memoized the key keeps serving its copy: the store memoizes
+        deterministic cost models, where every copy agrees).
 
         Durability: the append is a single ``os.write`` on an
         ``O_APPEND`` descriptor — atomic against concurrent writers —
@@ -132,9 +139,9 @@ class SharedCacheStore:
     def put_encoded(self, key_str: str, metrics: Dict[str, float]) -> None:
         """:meth:`put` by pre-encoded key."""
         shard = self._shard_index(key_str)
-        if key_str in self._entries[shard]:
-            return
         clean = {k: float(v) for k, v in metrics.items()}
+        if self._entries[shard].get(key_str) == clean:
+            return
         line = (
             json.dumps({"k": key_str, "m": clean}, separators=(",", ":")) + "\n"
         ).encode("utf-8")
@@ -195,11 +202,17 @@ class SharedCacheStore:
                     f"n_shards={meta.get('n_shards')}, not {self.n_shards}"
                 )
             return
-        tmp = meta_path.with_name(f"{meta_path.name}.tmp.{os.getpid()}")
+        # Unique per process AND thread: concurrent handles racing this
+        # write must each complete their own tmp file — sharing one tmp
+        # path could rename a half-written meta into place. The renames
+        # themselves may race freely; every copy carries identical bytes.
+        tmp = meta_path.with_name(
+            f"{meta_path.name}.tmp.{os.getpid()}.{threading.get_ident()}"
+        )
         tmp.write_text(
             json.dumps({"format": _FORMAT, "n_shards": self.n_shards})
         )
-        os.replace(tmp, meta_path)  # racing processes write identical bytes
+        os.replace(tmp, meta_path)
 
     def _refresh(self, shard: int) -> None:
         """Fold any bytes appended since the last read into the local
@@ -290,11 +303,12 @@ class ServerCacheStore:
 
     def put(self, key: ActionKey, metrics: Dict[str, float]) -> None:
         """Store one entry (idempotent: a key this process already
-        holds is not re-sent)."""
+        holds *with the same metrics* is not re-sent; a changed value
+        is — the server map is last-writer-wins)."""
         key_str = encode_key(key)
-        if key_str in self._local:
-            return
         clean = {k: float(v) for k, v in metrics.items()}
+        if self._local.get(key_str) == clean:
+            return
         self._client.cache_put(key_str, clean)
         self._local[key_str] = clean
 

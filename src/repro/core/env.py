@@ -90,6 +90,9 @@ class EnvStats:
         #: Cost-model calls dispatched to a remote evaluation backend
         #: (a subset of the runs counted by ``cache_misses``).
         self.remote_evals = 0
+        #: ``remote_evals`` broken down by the host URL that answered —
+        #: the provenance a multi-host sweep reports per trial.
+        self.remote_evals_by_host: Dict[str, int] = {}
 
     def __repr__(self) -> str:
         return (
@@ -193,6 +196,13 @@ class ArchGymEnv:
             return self.evaluate(action)
         metrics = self._backend.evaluate(self.env_id, action)
         self.stats.remote_evals += 1
+        # A backend that knows which host answered (a multi-host pool,
+        # or a single client reporting its base URL) gets the
+        # evaluation attributed to that host.
+        host = getattr(self._backend, "last_host", None)
+        if host is not None:
+            by_host = self.stats.remote_evals_by_host
+            by_host[host] = by_host.get(host, 0) + 1
         return metrics
 
     # -- evaluation cache ---------------------------------------------------------

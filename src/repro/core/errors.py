@@ -61,5 +61,15 @@ class ServiceError(ArchGymError):
     is exhausted — never a hang, never a silently wrong metric."""
 
 
+class ServiceTransportError(ServiceError):
+    """The *transport* to an evaluation host failed (connection refused
+    or reset, timeout, torn body) and the client's retry policy is
+    exhausted. Distinct from a plain :class:`ServiceError` the server
+    itself produced (an HTTP 4xx/5xx with an error body): a transport
+    failure says nothing about the request, so a multi-host scheduler
+    may fail it over to another host — whereas a server-produced error
+    is deterministic and would fail identically everywhere."""
+
+
 class ProxyModelError(ArchGymError):
     """A proxy cost model operation (fit, predict) is invalid."""

@@ -1,35 +1,65 @@
 """HTTP client for the evaluation service, with an explicit
-retry/timeout policy.
+retry/timeout policy and persistent keep-alive connections.
 
 Every request either returns a parsed, schema-checked JSON body or
 raises :class:`~repro.core.errors.ServiceError` — the client never
 hangs (every socket operation carries ``timeout_s``) and never lets a
 torn response body masquerade as a metric.
 
+Connection reuse
+----------------
+A sweep makes thousands of small requests; paying a TCP handshake per
+request is the dominant cost for cheap cost models. The client keeps
+one persistent :class:`http.client.HTTPConnection` per thread (the
+server speaks HTTP/1.1 keep-alive) and re-sends on a *stale* socket —
+a server that closed an idle connection between requests — exactly
+once, without consuming a retry: the bytes never reached a live peer,
+so the re-send is indistinguishable from a first attempt. Every other
+transport failure goes through the normal retry policy.
+``requests_sent`` counts round trips and ``connections_opened`` counts
+sockets, so callers (and the CI microbenchmark) can verify both
+batching and reuse.
+
 Retry policy
 ------------
 The evaluation API is deterministic and idempotent (``evaluate`` memoizes
-a pure cost model; cache ``PUT`` is last-writer-wins over identical
-values), so *transport* failures — connection refused/reset, socket
-timeout, a body that does not parse — are retried up to ``retries``
-times with exponential backoff. Responses the server actually produced
-(4xx/5xx with an ``error`` body) are **not** retried: re-sending the
-same request would deterministically fail the same way.
+a pure cost model; cache ``PUT`` is last-writer-wins), so *transport*
+failures — connection refused/reset, socket timeout, a body that does
+not parse — are retried up to ``retries`` times with exponential
+backoff, capped so the total time asleep never exceeds
+``backoff_cap_s`` regardless of the retry count; a ``retries=0``
+client never sleeps at all. Exhaustion raises
+:class:`~repro.core.errors.ServiceTransportError` (a
+:class:`ServiceError` subtype schedulers key failover on). Responses
+the server actually produced (4xx/5xx with an ``error`` body) are
+**not** retried: re-sending the same request would deterministically
+fail the same way.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import threading
 import time
-import urllib.error
-import urllib.request
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+from urllib.parse import urlsplit
 
-from repro.core.errors import ServiceError
+from repro.core.errors import ServiceError, ServiceTransportError
 from repro.service.wire import dump_body, jsonify, key_to_token
 
 __all__ = ["ServiceClient"]
+
+#: Failures that mean "the server went away between keep-alive
+#: requests" — the request bytes never reached a live peer, so one
+#: transparent reconnect + re-send does not consume a retry. A socket
+#: timeout is deliberately absent: the peer *was* alive and slow.
+_STALE_SOCKET_ERRORS = (
+    http.client.BadStatusLine,  # includes RemoteDisconnected
+    ConnectionResetError,
+    ConnectionAbortedError,
+    BrokenPipeError,
+)
 
 
 class ServiceClient:
@@ -46,6 +76,9 @@ class ServiceClient:
         Extra attempts after the first, for transport-level failures.
     backoff_s:
         First retry delay; doubles per subsequent retry.
+    backoff_cap_s:
+        Ceiling on the *total* time one request may spend asleep in
+        backoff across all its retries.
     """
 
     def __init__(
@@ -54,6 +87,7 @@ class ServiceClient:
         timeout_s: float = 60.0,
         retries: int = 2,
         backoff_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
     ) -> None:
         if not base_url.startswith(("http://", "https://")):
             raise ServiceError(
@@ -63,63 +97,162 @@ class ServiceClient:
             raise ServiceError(f"timeout_s must be > 0, got {timeout_s}")
         if retries < 0:
             raise ServiceError(f"retries must be >= 0, got {retries}")
-        self.base_url = base_url.rstrip("/")
+        if backoff_cap_s < 0:
+            raise ServiceError(f"backoff_cap_s must be >= 0, got {backoff_cap_s}")
+        split = urlsplit(base_url)
+        if not split.netloc:
+            raise ServiceError(f"service url has no host: {base_url!r}")
+        self._scheme = split.scheme
+        self._netloc = split.netloc
+        self._path_prefix = split.path.rstrip("/")
+        self.base_url = f"{split.scheme}://{split.netloc}{self._path_prefix}"
         self.timeout_s = timeout_s
         self.retries = retries
         self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        #: Round trips attempted (including retries) — the denominator
+        #: the batching microbenchmark compares against.
+        self.requests_sent = 0
+        #: Sockets opened; stays at 1 per thread while keep-alive holds.
+        self.connections_opened = 0
+        # Counters are shared across threads (connections are not), so
+        # their read-modify-writes sit under a lock.
+        self._stats_lock = threading.Lock()
+        # One persistent connection per thread: http.client connections
+        # are not thread-safe, and a thread-local pool gives reuse
+        # without socket-level locking on the hot path.
+        self._conn_local = threading.local()
+
+    # -- connection pool ----------------------------------------------------------
+
+    def _get_conn(self) -> Tuple[http.client.HTTPConnection, bool]:
+        """This thread's connection and whether it is being *reused*."""
+        conn = getattr(self._conn_local, "conn", None)
+        if conn is not None:
+            return conn, True
+        conn_cls = (
+            http.client.HTTPSConnection
+            if self._scheme == "https"
+            else http.client.HTTPConnection
+        )
+        conn = conn_cls(self._netloc, timeout=self.timeout_s)
+        self._conn_local.conn = conn
+        with self._stats_lock:
+            self.connections_opened += 1
+        return conn, False
+
+    def _drop_conn(self) -> None:
+        conn = getattr(self._conn_local, "conn", None)
+        self._conn_local.conn = None
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        """Close the calling thread's persistent connection (if any).
+
+        Purely a resource-hygiene call: the next request transparently
+        opens a fresh socket.
+        """
+        self._drop_conn()
 
     # -- transport ----------------------------------------------------------------
+
+    def _roundtrip(
+        self, conn: http.client.HTTPConnection, method: str, path: str,
+        body: Optional[bytes],
+    ) -> Tuple[int, bytes]:
+        """One request/response on an open connection."""
+        with self._stats_lock:
+            self.requests_sent += 1
+        conn.request(
+            method,
+            self._path_prefix + path,
+            body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        resp = conn.getresponse()
+        try:
+            status = resp.status
+            raw = resp.read()  # drain fully so the socket stays reusable
+        finally:
+            resp.close()
+        if resp.will_close:  # HTTP/1.0 peer or Connection: close
+            self._drop_conn()
+        return status, raw
+
+    def _send(self, method: str, path: str, body: Optional[bytes]) -> Tuple[int, bytes]:
+        """One attempt, with the free stale-socket re-send."""
+        conn, reused = self._get_conn()
+        try:
+            return self._roundtrip(conn, method, path, body)
+        except _STALE_SOCKET_ERRORS:
+            self._drop_conn()
+            if not reused:
+                raise
+            # The server closed an idle keep-alive socket between
+            # requests. Nothing reached a live peer, so reconnecting
+            # and re-sending once is not a retry.
+            conn, _ = self._get_conn()
+            try:
+                return self._roundtrip(conn, method, path, body)
+            except (OSError, http.client.HTTPException):
+                self._drop_conn()
+                raise
+        except (OSError, http.client.HTTPException):
+            self._drop_conn()  # unknown socket state: never reuse it
+            raise
 
     def _request(
         self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
     ) -> Tuple[int, Dict[str, Any]]:
         """One API call under the retry policy; returns (status, body)."""
-        url = self.base_url + path
         body = dump_body(payload) if payload is not None else None
         attempts = self.retries + 1
+        slept_total = 0.0
         last_error: Optional[BaseException] = None
         for attempt in range(attempts):
             if attempt:
-                time.sleep(self.backoff_s * (2 ** (attempt - 1)))
-            request = urllib.request.Request(
-                url,
-                data=body,
-                method=method,
-                headers={"Content-Type": "application/json"},
-            )
+                # Exponential backoff after *any* retryable failure —
+                # transport or body-parse alike — capped so the total
+                # sleep never exceeds backoff_cap_s.
+                delay = min(
+                    self.backoff_s * (2 ** (attempt - 1)),
+                    self.backoff_cap_s - slept_total,
+                )
+                if delay > 0:
+                    time.sleep(delay)
+                    slept_total += delay
             try:
-                with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
-                    status = resp.status
-                    raw = resp.read()
-            except urllib.error.HTTPError as err:
-                # The server answered with an error status — parse its
-                # JSON error body if there is one; do not retry.
-                with err:
-                    raw = err.read()
-                try:
-                    parsed = json.loads(raw.decode("utf-8")) if raw else {}
-                except (ValueError, UnicodeDecodeError):
-                    parsed = {"error": raw[:200].decode("utf-8", errors="replace")}
-                if not isinstance(parsed, dict):
-                    parsed = {"error": str(parsed)}
-                return err.code, parsed
+                status, raw = self._send(method, path, body)
             except (OSError, http.client.HTTPException) as exc:
-                # Connection refused/reset, DNS failure, socket timeout
-                # (urllib wraps it in URLError), torn chunked transfer.
+                # Connection refused/reset, DNS failure, socket
+                # timeout, torn chunked transfer.
                 last_error = exc
                 continue
             try:
                 parsed = json.loads(raw.decode("utf-8")) if raw else {}
-                if not isinstance(parsed, dict):
-                    raise ValueError(f"expected a JSON object, got {parsed!r}")
-                return status, parsed
             except (ValueError, UnicodeDecodeError) as exc:
-                # Torn/truncated body: the bytes arrived but do not
-                # parse — retryable, the API is idempotent.
+                if status >= 400:
+                    # The server answered an error with a non-JSON
+                    # body; deterministic, so do not retry.
+                    return status, {
+                        "error": raw[:200].decode("utf-8", errors="replace")
+                    }
+                # Torn/truncated success body: the bytes arrived but do
+                # not parse — retryable, the API is idempotent.
                 last_error = exc
                 continue
-        raise ServiceError(
-            f"{method} {url} failed after {attempts} attempt(s) "
+            if not isinstance(parsed, dict):
+                if status >= 400:
+                    return status, {"error": str(parsed)}
+                last_error = ValueError(f"expected a JSON object, got {parsed!r}")
+                continue
+            return status, parsed
+        raise ServiceTransportError(
+            f"{method} {self.base_url + path} failed after {attempts} attempt(s) "
             f"(timeout {self.timeout_s}s/attempt): {last_error!r}"
         )
 
@@ -157,6 +290,46 @@ class ServiceClient:
                 f"evaluate response for env {env!r} has no metrics object: {parsed!r}"
             )
         return {str(k): float(v) for k, v in metrics.items()}
+
+    def evaluate_batch(
+        self,
+        env: str,
+        actions: Sequence[Dict[str, Any]],
+        env_kwargs: Optional[Dict[str, Any]] = None,
+        memoize: bool = True,
+    ) -> List[Dict[str, float]]:
+        """Evaluate many design points in one round trip.
+
+        The server runs the whole batch under a single env-instance
+        lock and (with ``memoize``, the default) answers repeat design
+        points from its ``/cache`` store instead of re-simulating.
+        Results come back in request order, one metric dict per action.
+        """
+        if not actions:
+            raise ServiceError("evaluate_batch needs at least one action")
+        request: Dict[str, Any] = {
+            "env": env,
+            "actions": [jsonify(a) for a in actions],
+        }
+        if env_kwargs:
+            request["kwargs"] = jsonify(env_kwargs)
+        if not memoize:
+            request["memoize"] = False
+        parsed = self._checked("POST", "/evaluate_batch", request)
+        metrics_list = parsed.get("metrics")
+        if not isinstance(metrics_list, list) or len(metrics_list) != len(actions):
+            raise ServiceError(
+                f"evaluate_batch response for env {env!r} must carry "
+                f"{len(actions)} metric objects: {parsed!r}"
+            )
+        out: List[Dict[str, float]] = []
+        for i, metrics in enumerate(metrics_list):
+            if not isinstance(metrics, dict):
+                raise ServiceError(
+                    f"evaluate_batch entry {i} is not a metrics object: {metrics!r}"
+                )
+            out.append({str(k): float(v) for k, v in metrics.items()})
+        return out
 
     def cache_get(self, key_str: str) -> Optional[Dict[str, float]]:
         """Server-cache lookup by encoded key; ``None`` on a miss."""

@@ -1,5 +1,5 @@
 """Client-side evaluation backends: point ``ArchGymEnv.evaluate`` at a
-remote service.
+remote service (or a pool of them).
 
 An :class:`~repro.core.env.ArchGymEnv` dispatches every cost-model call
 through its attached *backend* (``None`` means the env's own
@@ -11,11 +11,19 @@ JSON round trip). The agent above the env is untouched — reward
 computation, episode accounting, caching tiers, and dataset logging all
 stay client-side, so a remote sweep is bit-identical to an in-process
 one except for the ``remote_evals`` counter and timing.
+
+The transport underneath is pluggable: a URL builds a
+:class:`ServiceClient` (persistent keep-alive connection); a list of
+URLs builds a :class:`~repro.sweeps.hostpool.HostPool` (least-load
+scheduling with failover); an existing client or pool is used as-is.
+With ``batch=True`` every dispatch rides ``POST /evaluate_batch``
+instead of ``POST /evaluate``, which turns on the server-side
+memoization that feeds the service's ``/cache`` store.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Optional, Sequence, Union
 
 from repro.core.env import ArchGymEnv
 from repro.service.client import ServiceClient
@@ -29,41 +37,81 @@ class RemoteBackend:
     Parameters
     ----------
     service:
-        A base URL (``"http://host:port"``) or an existing
-        :class:`ServiceClient` (whose retry/timeout policy is reused).
+        A base URL (``"http://host:port"``), a sequence of base URLs
+        (a multi-host pool with least-load scheduling and failover),
+        or an existing :class:`ServiceClient` /
+        :class:`~repro.sweeps.hostpool.HostPool` (whose retry/timeout
+        policy is reused).
     env_kwargs:
         Environment construction arguments (workload, objective, …)
         forwarded with every request, so the server instantiates the
         same environment the client built locally.
+    batch:
+        Route dispatches through ``POST /evaluate_batch`` (server-side
+        memoization feeding the service ``/cache`` store) instead of
+        per-point ``POST /evaluate``.
     client_kwargs:
         ``timeout_s`` / ``retries`` / ``backoff_s`` when ``service`` is
-        a URL.
+        a URL or a sequence of URLs.
     """
 
     def __init__(
         self,
-        service: Union[str, ServiceClient],
+        service: Union[str, Sequence[str], ServiceClient, Any],
         env_kwargs: Optional[Dict[str, Any]] = None,
+        batch: bool = False,
         **client_kwargs: Any,
     ) -> None:
-        self.client = (
-            service
-            if isinstance(service, ServiceClient)
-            else ServiceClient(service, **client_kwargs)
-        )
+        if isinstance(service, str):
+            self.client: Any = ServiceClient(service, **client_kwargs)
+        elif isinstance(service, (list, tuple)):
+            urls = list(service)
+            if len(urls) == 1:
+                self.client = ServiceClient(urls[0], **client_kwargs)
+            else:
+                # Imported lazily: repro.service must stay importable
+                # without pulling in the whole sweeps package.
+                from repro.sweeps.hostpool import HostPool
+
+                self.client = HostPool(urls, **client_kwargs)
+        else:  # a ready-made ServiceClient or HostPool: policy is theirs
+            self.client = service
         self.env_kwargs = dict(env_kwargs) if env_kwargs else None
+        self.batch = batch
+
+    @property
+    def last_host(self) -> Optional[str]:
+        """URL that served the most recent evaluation — a pool reports
+        its per-call choice, a single client its base URL."""
+        pooled = getattr(self.client, "last_host", None)
+        if pooled is not None:
+            return pooled
+        return getattr(self.client, "base_url", None)
 
     def evaluate(self, env_name: str, action: Dict[str, Any]) -> Dict[str, float]:
         """The backend hook :meth:`ArchGymEnv.step` dispatches through."""
+        if self.batch:
+            return self.evaluate_batch(env_name, [action])[0]
         return self.client.evaluate(env_name, action, env_kwargs=self.env_kwargs)
 
+    def evaluate_batch(
+        self, env_name: str, actions: Sequence[Dict[str, Any]]
+    ) -> list:
+        """Evaluate many design points in one round trip."""
+        return self.client.evaluate_batch(
+            env_name, list(actions), env_kwargs=self.env_kwargs
+        )
+
     def __repr__(self) -> str:
-        return f"RemoteBackend(url={self.client.base_url!r})"
+        target = getattr(self.client, "base_url", None) or getattr(
+            self.client, "urls", self.client
+        )
+        return f"RemoteBackend(service={target!r}, batch={self.batch})"
 
 
 def RemoteEnv(  # noqa: N802 - constructor-style helper, returns the env
     env: ArchGymEnv,
-    service: Union[str, ServiceClient],
+    service: Union[str, Sequence[str], ServiceClient, Any],
     env_kwargs: Optional[Dict[str, Any]] = None,
     **client_kwargs: Any,
 ) -> ArchGymEnv:
@@ -76,8 +124,11 @@ def RemoteEnv(  # noqa: N802 - constructor-style helper, returns the env
         env = RemoteEnv(repro.make("DRAMGym-v0"), "http://127.0.0.1:8023")
         obs, reward, *_ = env.step(action)   # cost model ran remotely
 
-    ``env_kwargs`` must mirror the construction arguments so the server
-    evaluates the same environment configuration.
+    ``service`` may also be a list of URLs — the evaluations then
+    spread over a least-load :class:`~repro.sweeps.hostpool.HostPool`
+    with automatic failover. ``env_kwargs`` must mirror the
+    construction arguments so the server evaluates the same
+    environment configuration.
     """
     env.attach_backend(
         RemoteBackend(service, env_kwargs=env_kwargs, **client_kwargs)

@@ -16,6 +16,19 @@ separate process — or on a separate machine — behind three endpoints:
     objective, …); each distinct ``(env, kwargs)`` pair gets its own
     long-lived instance, serialized by a per-instance lock because
     cost models are not promised to be thread-safe.
+``POST /evaluate_batch``
+    Body ``{"env": name, "actions": [{...}, ...], "kwargs": {...}?,
+    "memoize": bool?}``; answers ``{"metrics": [...], "memo_hits": n}``
+    with one metric object per action, in request order. The whole
+    batch runs under **one** acquisition of the instance lock, so N
+    design points pay one round trip and one lock handoff instead of
+    N. With ``memoize`` (the default) every fresh evaluation is also
+    written into the ``/cache`` store — under exactly the key an
+    explicit ``PUT /cache/<token>`` of that design point would use —
+    and repeat points are answered from it without touching the cost
+    model (counted in ``memo_hits`` and on ``/healthz``). Because the
+    ``/cache`` map is keyed on the design point alone, memoization is
+    auto-disabled on servers hosting more than one environment.
 ``GET/PUT /cache/<token>`` and ``GET /cache``
     A ``canonical_action_key -> metrics`` map shared by every client —
     the server-backed twin of the file-backed
@@ -34,13 +47,14 @@ with 4xx/5xx statuses — the client maps them onto
 
 from __future__ import annotations
 
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any, Callable, Dict, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
 
-from repro.core.cache_store import SharedCacheStore
-from repro.core.env import ArchGymEnv
+from repro.core.cache_store import SharedCacheStore, encode_key
+from repro.core.env import ArchGymEnv, canonical_action_key
 from repro.core.errors import ServiceError
 from repro.service.wire import (
     WIRE_FORMAT,
@@ -48,6 +62,7 @@ from repro.service.wire import (
     clean_metrics,
     dump_body,
     load_body,
+    parse_batch_request,
     token_to_key,
 )
 
@@ -106,8 +121,21 @@ class EvaluationService:
         self._mem_cache: Dict[str, Dict[str, float]] = {}
         self._cache_lock = threading.Lock()
         self.evaluations = 0
+        #: ``/evaluate_batch`` requests served.
+        self.batch_requests = 0
+        #: Batch design points answered from the memo instead of the
+        #: cost model.
+        self.memo_hits = 0
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
+        # Live keep-alive sockets: HTTP/1.1 handler threads block on
+        # the next request, so stop() must close these to actually die.
+        self._connections: Set[socket.socket] = set()
+        self._conn_lock = threading.Lock()
+        #: Once set, handlers drop every request unanswered — a
+        #: stopping server must not keep serving a fast keep-alive
+        #: client racing the listener teardown.
+        self._stopping = False
 
     # -- registry -----------------------------------------------------------------
 
@@ -127,14 +155,10 @@ class EvaluationService:
 
     # -- request semantics (handler delegates here) ---------------------------------
 
-    def evaluate(
-        self,
-        name: str,
-        action: Dict[str, Any],
-        kwargs: Optional[Dict[str, Any]] = None,
-    ) -> Dict[str, float]:
-        """Run one design point through the named environment."""
-        kwargs = kwargs or {}
+    def _instance_lock(
+        self, name: str, kwargs: Dict[str, Any]
+    ) -> Tuple[Tuple[str, str], Callable[..., ArchGymEnv], threading.Lock]:
+        """Resolve the factory and per-instance lock for (env, kwargs)."""
         instance_key = (name, canonical_dumps(kwargs))
         with self._state_lock:
             try:
@@ -145,20 +169,112 @@ class EvaluationService:
                     f"{sorted(self._registry)}"
                 ) from None
             lock = self._instance_locks.setdefault(instance_key, threading.Lock())
+        return instance_key, factory, lock
+
+    def _instance(
+        self,
+        instance_key: Tuple[str, str],
+        factory: Callable[..., ArchGymEnv],
+        kwargs: Dict[str, Any],
+    ) -> ArchGymEnv:
+        """Get-or-build the long-lived env (instance lock must be held)."""
+        with self._state_lock:
+            env = self._instances.get(instance_key)
+        if env is None:
+            env = factory(**kwargs)
+            with self._state_lock:
+                self._instances[instance_key] = env
+        return env
+
+    def evaluate(
+        self,
+        name: str,
+        action: Dict[str, Any],
+        kwargs: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, float]:
+        """Run one design point through the named environment."""
+        kwargs = kwargs or {}
+        instance_key, factory, lock = self._instance_lock(name, kwargs)
         # Construct and evaluate under the per-instance lock only — a
         # slow env build or simulation must never stall requests for
         # other instances (or /healthz) behind the global state lock.
         with lock:
-            with self._state_lock:
-                env = self._instances.get(instance_key)
-            if env is None:
-                env = factory(**kwargs)
-                with self._state_lock:
-                    self._instances[instance_key] = env
+            env = self._instance(instance_key, factory, kwargs)
             metrics = env.evaluate(action)
         with self._state_lock:  # instance locks differ per (env, kwargs)
             self.evaluations += 1
         return clean_metrics(metrics)
+
+    def evaluate_batch(
+        self,
+        name: str,
+        actions: List[Dict[str, Any]],
+        kwargs: Optional[Dict[str, Any]] = None,
+        memoize: bool = True,
+    ) -> Tuple[List[Dict[str, float]], int]:
+        """Run many design points under one instance-lock acquisition.
+
+        Returns ``(metrics_list, memo_hits)`` with one entry per action
+        in request order. With ``memoize`` every fresh evaluation also
+        lands in the ``/cache`` store — keyed exactly as an explicit
+        ``PUT /cache`` of the same design point (the urlsafe token of
+        ``encode_key(canonical_action_key(action))``), so batch traffic
+        and explicit cache writes are indistinguishable to readers —
+        and repeat design points are answered from that store without
+        touching the cost model.
+
+        The memo shares the server-wide ``/cache`` map, which is keyed
+        on the design point alone (the
+        :class:`~repro.core.cache_store.SharedCacheStore` contract), so
+        memoization requires one server to serve one deterministic
+        environment configuration. The part of that assumption the
+        server can verify, it enforces: a server with **more than one
+        registered environment** auto-disables memoization (two envs
+        sharing an action shape would silently serve each other's
+        metrics); serving one env under two different ``kwargs``
+        configurations is the caller's contract to keep — the same one
+        ``--shared-cache`` / ``ServerCacheStore`` has always carried.
+        Pass ``memoize=False`` per request to opt out.
+        """
+        kwargs = kwargs or {}
+        instance_key, factory, lock = self._instance_lock(name, kwargs)
+        with self._state_lock:
+            memoize = memoize and len(self._registry) == 1
+        results: List[Optional[Dict[str, float]]] = [None] * len(actions)
+        pending: List[Tuple[int, Dict[str, Any], str]] = []
+        memo_hits = 0
+        for i, action in enumerate(actions):
+            key_str = encode_key(canonical_action_key(action))
+            if memoize:
+                found = self.cache_get(key_str)
+                if found is not None:
+                    results[i] = found
+                    memo_hits += 1
+                    continue
+            pending.append((i, dict(action), key_str))
+        evaluated = 0
+        if pending:
+            with lock:
+                env = self._instance(instance_key, factory, kwargs)
+                fresh: Dict[str, Dict[str, float]] = {}
+                for i, action, key_str in pending:
+                    metrics = fresh.get(key_str) if memoize else None
+                    if metrics is None:
+                        metrics = clean_metrics(env.evaluate(action))
+                        evaluated += 1
+                        if memoize:
+                            self.cache_put(key_str, metrics)
+                            fresh[key_str] = metrics
+                    else:  # same design point twice in one batch
+                        memo_hits += 1
+                    results[i] = metrics
+        with self._state_lock:
+            self.evaluations += evaluated
+            self.batch_requests += 1
+            self.memo_hits += memo_hits
+        # results is fully populated: every index either hit the memo
+        # or was in pending
+        return [r for r in results if r is not None], memo_hits
 
     def cache_get(self, key_str: str) -> Optional[Dict[str, float]]:
         with self._cache_lock:
@@ -187,8 +303,37 @@ class EvaluationService:
             "format": WIRE_FORMAT,
             "envs": list(self.env_names),
             "evaluations": self.evaluations,
+            "batch_requests": self.batch_requests,
+            "memo_hits": self.memo_hits,
             "cache_size": self.cache_size(),
         }
+
+    # -- connection tracking -------------------------------------------------------
+
+    def _track_connection(self, conn: socket.socket) -> None:
+        with self._conn_lock:
+            self._connections.add(conn)
+
+    def _untrack_connection(self, conn: socket.socket) -> None:
+        with self._conn_lock:
+            self._connections.discard(conn)
+
+    def _close_connections(self) -> None:
+        """Shut down every live keep-alive socket so blocked handler
+        threads see EOF and exit (stop() must mean *stopped*).
+
+        ``shutdown`` only, not ``close``: the owning handler thread may
+        be mid-write, and a shut-down socket fails its I/O with
+        EOF/EPIPE (benign, filtered) while the fd stays valid until the
+        handler's own ``finish`` releases it.
+        """
+        with self._conn_lock:
+            conns = list(self._connections)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -204,7 +349,7 @@ class EvaluationService:
 
     def _make_httpd(self) -> ThreadingHTTPServer:
         handler = type("_BoundHandler", (_Handler,), {"service": self})
-        httpd = ThreadingHTTPServer((self._host, self._requested_port), handler)
+        httpd = _QuietServer((self._host, self._requested_port), handler)
         httpd.daemon_threads = True
         return httpd
 
@@ -212,6 +357,7 @@ class EvaluationService:
         """Serve in a daemon thread; returns the bound base URL."""
         if self._httpd is not None:
             raise ServiceError("service already started")
+        self._stopping = False
         self._httpd = self._make_httpd()
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
@@ -235,11 +381,13 @@ class EvaluationService:
         """Bind and serve on the calling thread (the CLI entry point)."""
         if self._httpd is not None:
             raise ServiceError("service already started")
+        self._stopping = False
         self._httpd = self._make_httpd()
         try:
             self._httpd.serve_forever()
         finally:
             self._httpd.server_close()
+            self._close_connections()
 
     def stop(self) -> None:
         """Stop accepting requests and release the socket (idempotent).
@@ -247,11 +395,20 @@ class EvaluationService:
         Safe to call from any thread — including a handler thread, which
         the fault-injection tests use to kill the server mid-sweep.
         """
+        # Order matters against a fast keep-alive client: first refuse
+        # further requests (handlers drop them unanswered) and kill the
+        # live sockets, *then* tear down the listener — otherwise the
+        # client could race through many more requests during the
+        # shutdown() poll window. A second sweep catches connections
+        # the listener accepted while it was going down.
+        self._stopping = True
+        self._close_connections()
         httpd, self._httpd = self._httpd, None
         thread, self._thread = self._thread, None
         if httpd is not None:
             httpd.shutdown()
             httpd.server_close()
+        self._close_connections()
         if thread is not None and thread is not threading.current_thread():
             thread.join(timeout=10)
 
@@ -263,17 +420,85 @@ class EvaluationService:
         self.stop()
 
 
+class _QuietServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that does not traceback-spam when a client
+    (or :meth:`EvaluationService.stop`) drops a keep-alive socket —
+    disconnects are business as usual for an evaluation host. Every
+    other handler exception still reports normally."""
+
+    def handle_error(self, request: Any, client_address: Any) -> None:
+        import sys
+
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (ConnectionError, TimeoutError)):
+            return
+        super().handle_error(request, client_address)
+
+
 class _Handler(BaseHTTPRequestHandler):
     """Routes HTTP verbs onto the owning :class:`EvaluationService`."""
 
     #: Injected by :meth:`EvaluationService._make_httpd`.
     service: EvaluationService
 
+    #: Keep-alive: one TCP connection carries a whole sweep's requests
+    #: (every reply states Content-Length, which HTTP/1.1 requires).
+    protocol_version = "HTTP/1.1"
+
+    #: The handler writes status/headers and body as separate segments;
+    #: with Nagle on, the body waits out the client's delayed ACK
+    #: (~40ms per request). TCP_NODELAY makes per-point latency the
+    #: handler cost, not a timer.
+    disable_nagle_algorithm = True
+
+    #: Socket timeout for this connection's reads/writes: a client that
+    #: stalls mid-body (or idles a keep-alive socket) releases the
+    #: handler thread instead of pinning it forever. Generously above
+    #: any honest request; an idle client just reconnects — its next
+    #: request rides the free stale-socket re-send.
+    timeout = 120.0
+
+    #: Largest unread request body an early error reply will drain to
+    #: keep the keep-alive socket in sync; anything bigger closes the
+    #: connection instead (no legitimate request body comes close).
+    _drain_cap = 1 << 20
+
     # Quiet: a sweep makes thousands of requests.
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         pass
 
+    def setup(self) -> None:
+        super().setup()
+        self.service._track_connection(self.connection)
+
+    def finish(self) -> None:
+        try:
+            super().finish()
+        finally:
+            self.service._untrack_connection(self.connection)
+
+    def _drain_request_body(self) -> None:
+        """Consume any unread request body before replying.
+
+        Keep-alive discipline: an early error reply (unknown route,
+        malformed token) that leaves body bytes in the socket would
+        desync the connection — the leftovers would parse as the next
+        request line and poison every later request on it. A body too
+        large to drain cheaply (an abusive Content-Length) is not read
+        at all; the connection is closed after the reply instead, which
+        re-syncs just as well.
+        """
+        if self._body_consumed:
+            return
+        self._body_consumed = True
+        length = int(self.headers.get("Content-Length") or 0)
+        if 0 < length <= self._drain_cap:
+            self.rfile.read(length)
+        elif length > self._drain_cap:
+            self.close_connection = True
+
     def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+        self._drain_request_body()
         body = dump_body(payload)
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -283,9 +508,18 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _read_json(self) -> Any:
         length = int(self.headers.get("Content-Length") or 0)
+        self._body_consumed = True
         return load_body(self.rfile.read(length))
 
     def _dispatch(self, handler: Callable[[], None]) -> None:
+        self._body_consumed = False  # per-request; _reply drains leftovers
+        if self.service._stopping:
+            # A dying server answers nothing — dropping the request is
+            # what makes stop() prompt even against a keep-alive client
+            # racing the listener teardown. The client sees a transport
+            # failure, which its policy retries/fails over honestly.
+            self.close_connection = True
+            return
         try:
             handler()
         except ServiceError as exc:
@@ -315,28 +549,47 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:
         def handle() -> None:
-            if self.path != "/evaluate":
+            if self.path == "/evaluate":
+                self._handle_evaluate()
+            elif self.path == "/evaluate_batch":
+                self._handle_evaluate_batch()
+            else:
                 self._reply(404, {"error": f"no route {self.path!r}"})
-                return
-            request = self._read_json()
-            if not isinstance(request, dict) or "env" not in request:
-                raise ServiceError(f"evaluate body must name an 'env': {request!r}")
-            action = request.get("action")
-            if not isinstance(action, dict):
-                raise ServiceError(f"evaluate body needs an 'action' object: {request!r}")
-            try:
-                metrics = self.service.evaluate(
-                    str(request["env"]), action, request.get("kwargs")
-                )
-            except _UnknownEnvironment as exc:
-                self._reply(404, {"error": str(exc)})
-                return
-            except ServiceError as exc:
-                self._reply(400, {"error": str(exc)})
-                return
-            self._reply(200, {"metrics": metrics})
 
         self._dispatch(handle)
+
+    def _handle_evaluate(self) -> None:
+        request = self._read_json()
+        if not isinstance(request, dict) or "env" not in request:
+            raise ServiceError(f"evaluate body must name an 'env': {request!r}")
+        action = request.get("action")
+        if not isinstance(action, dict):
+            raise ServiceError(f"evaluate body needs an 'action' object: {request!r}")
+        try:
+            metrics = self.service.evaluate(
+                str(request["env"]), action, request.get("kwargs")
+            )
+        except _UnknownEnvironment as exc:
+            self._reply(404, {"error": str(exc)})
+            return
+        except ServiceError as exc:
+            self._reply(400, {"error": str(exc)})
+            return
+        self._reply(200, {"metrics": metrics})
+
+    def _handle_evaluate_batch(self) -> None:
+        name, actions, kwargs, memoize = parse_batch_request(self._read_json())
+        try:
+            metrics_list, memo_hits = self.service.evaluate_batch(
+                name, actions, kwargs, memoize=memoize
+            )
+        except _UnknownEnvironment as exc:
+            self._reply(404, {"error": str(exc)})
+            return
+        except ServiceError as exc:
+            self._reply(400, {"error": str(exc)})
+            return
+        self._reply(200, {"metrics": metrics_list, "memo_hits": memo_hits})
 
     def do_PUT(self) -> None:
         def handle() -> None:

@@ -36,11 +36,14 @@ __all__ = [
     "dump_body",
     "load_body",
     "clean_metrics",
+    "parse_batch_request",
     "key_to_token",
     "token_to_key",
 ]
 
 #: Protocol identifier served by ``GET /healthz``; clients may check it.
+#: Still v1: ``/evaluate_batch`` and keep-alive are strict additions —
+#: every v1 request body remains valid and answered identically.
 WIRE_FORMAT = "archgym-service-v1"
 
 
@@ -101,6 +104,41 @@ def clean_metrics(metrics: Mapping[str, Any]) -> Dict[str, float]:
         raise ServiceError(
             f"metrics are not a name->float mapping: {metrics!r}"
         ) from exc
+
+
+def parse_batch_request(request: Any) -> tuple:
+    """Validate one ``POST /evaluate_batch`` body.
+
+    Returns ``(env, actions, kwargs, memoize)`` or raises
+    :class:`ServiceError` naming the schema violation — the shape both
+    sides agree on lives here so client and server cannot drift.
+    """
+    if not isinstance(request, dict) or "env" not in request:
+        raise ServiceError(
+            f"evaluate_batch body must name an 'env': {request!r}"
+        )
+    actions = request.get("actions")
+    if not isinstance(actions, list) or not actions:
+        raise ServiceError(
+            "evaluate_batch body needs a non-empty 'actions' list: "
+            f"{request!r}"
+        )
+    for i, action in enumerate(actions):
+        if not isinstance(action, Mapping):
+            raise ServiceError(
+                f"evaluate_batch action {i} is not an object: {action!r}"
+            )
+    kwargs = request.get("kwargs")
+    if kwargs is not None and not isinstance(kwargs, Mapping):
+        raise ServiceError(
+            f"evaluate_batch 'kwargs' must be an object: {kwargs!r}"
+        )
+    memoize = request.get("memoize", True)
+    if not isinstance(memoize, bool):
+        raise ServiceError(
+            f"evaluate_batch 'memoize' must be a boolean: {memoize!r}"
+        )
+    return str(request["env"]), actions, dict(kwargs or {}), memoize
 
 
 def key_to_token(key_str: str) -> str:

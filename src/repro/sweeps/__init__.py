@@ -4,9 +4,11 @@ from repro.sweeps.executor import (
     BackendSpec,
     TrialOutcome,
     TrialTask,
+    clear_backend_cache,
     execute_trials,
     resolve_execution_backend,
 )
+from repro.sweeps.hostpool import HostPool
 from repro.sweeps.export import (
     load_report_json,
     report_to_rows,
@@ -35,8 +37,10 @@ from repro.sweeps.stats import (
 
 __all__ = [
     "BackendSpec",
+    "HostPool",
     "TrialTask",
     "TrialOutcome",
+    "clear_backend_cache",
     "execute_trials",
     "resolve_execution_backend",
     "load_report_json",

@@ -17,11 +17,13 @@ worker count yields bit-identical results.
 
 from __future__ import annotations
 
+import json
+import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.agents.base import SearchResult, run_agent
 from repro.agents.hyperparams import make_agent
@@ -33,6 +35,7 @@ __all__ = [
     "BackendSpec",
     "TrialTask",
     "TrialOutcome",
+    "clear_backend_cache",
     "execute_trials",
     "resolve_execution_backend",
 ]
@@ -50,11 +53,15 @@ class BackendSpec:
 
     ``kind="local"`` (the default when a task carries no spec) runs
     ``env.evaluate`` in the worker process. ``kind="remote"`` dispatches
-    every evaluation to the evaluation service at ``service_url``;
-    ``env_kwargs`` are forwarded so the server constructs the same
-    environment configuration (workload, objective, …) the worker built
-    locally, and ``timeout_s``/``retries`` set the client's
-    retry/timeout policy.
+    every evaluation to the evaluation service at ``service_url`` — or,
+    when ``service_urls`` names several hosts, to a least-load
+    :class:`~repro.sweeps.hostpool.HostPool` over all of them with
+    automatic failover. ``env_kwargs`` are forwarded so the server
+    constructs the same environment configuration (workload, objective,
+    …) the worker built locally, ``timeout_s``/``retries`` set the
+    client's retry/timeout policy, and ``batch=True`` routes
+    evaluations through ``POST /evaluate_batch`` (server-side
+    memoization feeding the service's ``/cache`` store).
     """
 
     kind: str = "local"
@@ -62,14 +69,30 @@ class BackendSpec:
     env_kwargs: Optional[Dict[str, Any]] = None
     timeout_s: float = 60.0
     retries: int = 2
+    #: All hosts of a multi-host pool (``service_url`` is then its
+    #: first entry, kept for compatibility and as the cache host).
+    service_urls: Optional[Tuple[str, ...]] = None
+    #: Dispatch through ``/evaluate_batch`` instead of ``/evaluate``.
+    batch: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in ("local", "remote"):
             raise ExecutorError(
                 f"backend kind must be 'local' or 'remote', got {self.kind!r}"
             )
-        if self.kind == "remote" and not self.service_url:
+        if self.service_urls is not None and not isinstance(
+            self.service_urls, tuple
+        ):  # normalize lists so the spec stays hash/pickle-stable
+            object.__setattr__(self, "service_urls", tuple(self.service_urls))
+        if self.kind == "remote" and not (self.service_url or self.service_urls):
             raise ExecutorError("remote backend requires a service_url")
+
+    @property
+    def urls(self) -> Tuple[str, ...]:
+        """Every host this spec targets (at least one for remote)."""
+        if self.service_urls:
+            return self.service_urls
+        return (self.service_url,) if self.service_url else ()
 
     def build(self) -> Optional[Any]:
         """Instantiate the backend in the worker (``None`` = local)."""
@@ -77,48 +100,124 @@ class BackendSpec:
             return None
         from repro.service.remote import RemoteBackend
 
+        urls = self.urls
         return RemoteBackend(
-            self.service_url,
+            urls[0] if len(urls) == 1 else list(urls),
             env_kwargs=self.env_kwargs,
+            batch=self.batch,
             timeout_s=self.timeout_s,
             retries=self.retries,
         )
 
 
+#: One live backend per distinct spec per process: keep-alive
+#: connections and a HostPool's quarantine memory then span all the
+#: trials a worker runs, instead of every trial re-probing a host that
+#: died (and paying a fresh TCP handshake per trial).
+_BACKEND_CACHE: Dict[Tuple[Any, ...], Any] = {}
+#: Owner of the cache entries. A forked pool worker inherits the
+#: parent's cache *and* its clients' open keep-alive sockets — letting
+#: workers share one TCP stream would interleave their HTTP responses.
+#: A PID mismatch therefore drops the cache so each process opens its
+#: own connections.
+_BACKEND_CACHE_PID: Optional[int] = None
+
+
+def _backend_cache_key(spec: BackendSpec) -> Tuple[Any, ...]:
+    return (
+        spec.kind,
+        spec.service_url,
+        spec.service_urls,
+        json.dumps(spec.env_kwargs, sort_keys=True, default=str)
+        if spec.env_kwargs
+        else None,
+        spec.timeout_s,
+        spec.retries,
+        spec.batch,
+    )
+
+
+def build_backend(spec: Optional[BackendSpec]) -> Optional[Any]:
+    """The worker-side backend for ``spec``, memoized per process.
+
+    Strictly per *process*: entries inherited across a ``fork`` (the
+    default pool start method on Linux) are discarded, because the
+    live sockets inside them are shared with the parent.
+    """
+    global _BACKEND_CACHE_PID
+    if spec is None:
+        return None
+    pid = os.getpid()
+    if _BACKEND_CACHE_PID != pid:
+        _BACKEND_CACHE.clear()
+        _BACKEND_CACHE_PID = pid
+    key = _backend_cache_key(spec)
+    backend = _BACKEND_CACHE.get(key)
+    if backend is None:
+        backend = spec.build()
+        _BACKEND_CACHE[key] = backend
+    return backend
+
+
+def clear_backend_cache() -> None:
+    """Drop the per-process backend memo (tests that restart services
+    on reused URLs need a clean slate)."""
+    _BACKEND_CACHE.clear()
+
+
 def resolve_execution_backend(
-    service_url: Optional[str],
+    service_url: Optional[Union[str, Sequence[str]]],
     shared_cache: bool,
     out_dir: Optional[Any],
     env_kwargs: Optional[Dict[str, Any]] = None,
     timeout_s: Optional[float] = None,
     retries: Optional[int] = None,
+    batch: bool = False,
 ) -> Tuple[Optional[BackendSpec], Optional[str], Optional[str]]:
     """Derive a task batch's ``(backend, server_cache_url,
     shared_cache_dir)`` from the user-facing execution knobs.
 
     One derivation shared by :func:`repro.sweeps.runner.run_lottery_sweep`
     and the CLI's ``collect`` so the precedence rules cannot drift:
-    ``service_url`` yields a remote :class:`BackendSpec` (with any
+    ``service_url`` — one URL or a sequence of them (repeated
+    ``--service-url`` flags become a multi-host :class:`HostPool`) —
+    yields a remote :class:`BackendSpec` (with any
     ``timeout_s``/``retries`` overrides; ``None`` keeps the spec
-    defaults); ``shared_cache`` prefers the service's ``/cache`` store
-    (cross-machine) over a file store under ``out_dir``.
+    defaults, ``batch`` routes through ``/evaluate_batch``);
+    ``shared_cache`` prefers the service's ``/cache`` store
+    (cross-machine; the *first* host's, so every trial reads one map)
+    over a file store under ``out_dir``.
     """
+    urls: Optional[Tuple[str, ...]] = None
+    if service_url is not None:
+        if isinstance(service_url, str):
+            urls = (service_url,)
+        else:
+            urls = tuple(dict.fromkeys(service_url))  # dedupe, keep order
+        if not urls:
+            urls = None
+    if batch and urls is None:
+        raise ExecutorError(
+            "batch evaluation (--service-batch / service_batch=True) "
+            "dispatches through POST /evaluate_batch and therefore "
+            "requires a service_url"
+        )
     overrides: Dict[str, Any] = {}
     if timeout_s is not None:
         overrides["timeout_s"] = timeout_s
     if retries is not None:
         overrides["retries"] = retries
     backend = None
-    if service_url is not None:
+    if urls is not None:
         backend = BackendSpec(
             kind="remote",
-            service_url=service_url,
+            service_url=urls[0],
+            service_urls=urls,
             env_kwargs=env_kwargs,
+            batch=batch,
             **overrides,
         )
-    server_cache_url = (
-        service_url if shared_cache and service_url is not None else None
-    )
+    server_cache_url = urls[0] if shared_cache and urls is not None else None
     shared_cache_dir = (
         str(Path(out_dir) / "shared-cache")
         if shared_cache and out_dir is not None and server_cache_url is None
@@ -199,7 +298,7 @@ def run_trial(task: TrialTask) -> TrialOutcome:
                 env.enable_cache()
         elif task.cache is False:
             env.disable_cache()
-        remote = task.backend.build() if task.backend is not None else None
+        remote = build_backend(task.backend)
         if remote is not None:
             env.attach_backend(remote)
         if task.shared_cache_dir is not None:
@@ -211,14 +310,23 @@ def run_trial(task: TrialTask) -> TrialOutcome:
 
             # Reuse the evaluation backend's client (and with it the
             # task's retry/timeout policy) when the cache lives on the
-            # same service; a task with no remote backend gets a
-            # default-policy client of its own.
-            if remote is not None and remote.client.base_url == (
-                task.server_cache_url.rstrip("/")
+            # same single service; a multi-host pool — or a task with
+            # no remote backend — gets a dedicated client pointed at
+            # the designated cache host, under the task's policy.
+            cache_url = task.server_cache_url.rstrip("/")
+            if (
+                remote is not None
+                and getattr(remote.client, "base_url", None) == cache_url
             ):
                 env.attach_shared_cache(ServerCacheStore(remote.client))
+            elif task.backend is not None:
+                env.attach_shared_cache(ServerCacheStore(
+                    cache_url,
+                    timeout_s=task.backend.timeout_s,
+                    retries=task.backend.retries,
+                ))
             else:
-                env.attach_shared_cache(ServerCacheStore(task.server_cache_url))
+                env.attach_shared_cache(ServerCacheStore(cache_url))
         dataset: Optional[ArchGymDataset] = None
         if task.collect:
             dataset = ArchGymDataset(env.env_id)

@@ -39,6 +39,7 @@ def report_to_rows(report: SweepReport) -> List[Dict[str, Any]]:
                     "cache_misses": res.cache_misses,
                     "shared_cache_hits": res.shared_cache_hits,
                     "remote_evals": res.remote_evals,
+                    "remote_hosts": dict(res.remote_hosts),
                     "hyperparameters": dict(res.hyperparameters),
                     "best_action": dict(res.best_action),
                     "best_metrics": dict(res.best_metrics),
@@ -75,13 +76,15 @@ def save_report_csv(report: SweepReport, path: str | Path) -> None:
         "env_id", "agent", "trial", "n_samples", "best_fitness",
         "best_reward", "target_met", "wall_time_s", "sim_time_s",
         "cache_hits", "cache_misses", "shared_cache_hits", "remote_evals",
-        "hyperparameters", "best_action", "best_metrics",
+        "remote_hosts", "hyperparameters", "best_action", "best_metrics",
     ]
     with Path(path).open("w", newline="") as f:
         writer = csv.DictWriter(f, fieldnames=fieldnames)
         writer.writeheader()
         for row in rows:
             flat = dict(row)
-            for key in ("hyperparameters", "best_action", "best_metrics"):
+            for key in (
+                "remote_hosts", "hyperparameters", "best_action", "best_metrics",
+            ):
                 flat[key] = json.dumps(flat[key], default=str)
             writer.writerow(flat)

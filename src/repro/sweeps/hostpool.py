@@ -1,0 +1,335 @@
+"""Multi-host scheduling for remote evaluation: spread one sweep's
+cost-model traffic over several evaluation services.
+
+The paper's §6 argument — fair agent comparison needs *huge* numbers of
+simulator evaluations — makes the evaluation service the throughput
+ceiling of a sweep. One ``repro serve`` host saturates at one
+simulator's speed; :class:`HostPool` points a sweep at N of them:
+
+- **Least-load dispatch.** Every call picks the healthy host with the
+  fewest in-flight requests (ties broken by position in the URL list),
+  so slow hosts shed load to fast ones automatically.
+- **Health and failover.** A host whose transport fails (connection
+  refused/reset, timeout, torn body — after the client's own retry
+  policy) is *quarantined* and the call fails over to a surviving
+  host. Evaluations are deterministic and idempotent, so a re-sent
+  design point can never produce a duplicate or divergent result —
+  which is what keeps a multi-host sweep bit-identical to a serial
+  in-process run.
+- **Revival.** When every host is quarantined the pool re-probes each
+  one via ``GET /healthz`` and revives any that answer (a restarted
+  server rejoins automatically). Only when that last sweep finds no
+  living host does the call raise, with a per-host error inventory;
+  the executor layer wraps it with the failing trial's name.
+
+Server-produced errors (HTTP 4xx/5xx bodies — unknown env, cost-model
+crash) are **not** failover events: they are deterministic and would
+fail identically on every host, so they propagate immediately.
+
+The pool quacks like :class:`~repro.service.client.ServiceClient` for
+``evaluate``/``evaluate_batch``, so
+:class:`~repro.service.remote.RemoteBackend` can carry either without
+knowing which it holds.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.errors import ServiceError, ServiceTransportError
+from repro.service.client import ServiceClient
+
+__all__ = ["HostPool"]
+
+
+class _Host:
+    """One evaluation service inside the pool."""
+
+    __slots__ = (
+        "url", "client", "probe_client", "alive", "inflight", "evals",
+        "last_error", "quarantined_at",
+    )
+
+    def __init__(
+        self, url: str, client: ServiceClient, probe_client: ServiceClient
+    ) -> None:
+        self.url = client.base_url
+        self.client = client
+        #: Short-timeout, zero-retry client for healthz re-probes of a
+        #: quarantined host — a probe of a still-dead host must cost
+        #: seconds, not the full evaluation timeout × retries.
+        self.probe_client = probe_client
+        self.alive = True
+        self.inflight = 0
+        self.evals = 0  # design points this host answered
+        self.last_error: Optional[str] = None
+        self.quarantined_at = 0.0
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else f"quarantined ({self.last_error})"
+        return f"_Host({self.url!r}, {state}, inflight={self.inflight})"
+
+
+class HostPool:
+    """Schedule evaluation calls over several service hosts.
+
+    Parameters
+    ----------
+    urls:
+        Base URLs of running evaluation services. Duplicates are
+        collapsed (one host, one health state). Order is the tie-break
+        for least-load dispatch.
+    timeout_s, retries, backoff_s:
+        Per-host :class:`ServiceClient` policy — each host gets its own
+        client (and with it its own keep-alive connections).
+    revive_after_s:
+        How long a quarantined host rests before the pool re-probes
+        its ``/healthz`` (with a short-timeout, zero-retry probe) and
+        revives it on success — so one transient failure costs a host
+        at most this long, not the rest of the sweep. A failed probe
+        restarts the clock. ``0`` probes on every dispatch; ``None``
+        disables timed revival (the all-dead revival sweep still runs).
+
+    Thread-safe: the parallel executor may drive one pool from many
+    threads; host selection and in-flight accounting sit under one
+    lock, while the HTTP calls themselves run outside it.
+    """
+
+    def __init__(
+        self,
+        urls: Sequence[str],
+        timeout_s: float = 60.0,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+        revive_after_s: Optional[float] = 30.0,
+    ) -> None:
+        if isinstance(urls, str):  # a lone URL is a 1-host pool
+            urls = (urls,)
+        if not urls:
+            raise ServiceError("HostPool needs at least one service url")
+        # Dedupe on the client-normalized base URL, not the raw string:
+        # 'http://h:1' and 'http://h:1/' are one server, and two _Host
+        # entries for it would split its quarantine state and double
+        # its share of least-load dispatch.
+        self._hosts: List[_Host] = []
+        seen = set()
+        for url in urls:
+            client = ServiceClient(
+                url, timeout_s=timeout_s, retries=retries, backoff_s=backoff_s,
+            )
+            if client.base_url in seen:
+                continue
+            seen.add(client.base_url)
+            probe = ServiceClient(
+                url, timeout_s=min(timeout_s, 2.0), retries=0,
+                backoff_s=backoff_s,
+            )
+            self._hosts.append(_Host(url, client, probe))
+        self.revive_after_s = revive_after_s
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next = 0  # round-robin cursor for load ties
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def urls(self) -> List[str]:
+        return [h.url for h in self._hosts]
+
+    @property
+    def alive_urls(self) -> List[str]:
+        with self._lock:
+            return [h.url for h in self._hosts if h.alive]
+
+    @property
+    def quarantined_urls(self) -> List[str]:
+        with self._lock:
+            return [h.url for h in self._hosts if not h.alive]
+
+    @property
+    def evals_by_host(self) -> Dict[str, int]:
+        """Design points answered per host (successful calls only)."""
+        with self._lock:
+            return {h.url: h.evals for h in self._hosts if h.evals}
+
+    @property
+    def last_host(self) -> Optional[str]:
+        """URL that served the calling thread's most recent success —
+        how :class:`~repro.core.env.ArchGymEnv` attributes its per-host
+        ``remote_evals`` counters."""
+        return getattr(self._local, "last_host", None)
+
+    def __repr__(self) -> str:
+        return f"HostPool(hosts={self.urls}, alive={self.alive_urls})"
+
+    # -- health -------------------------------------------------------------------
+
+    def check_health(self) -> Dict[str, Optional[Dict[str, Any]]]:
+        """Probe every host's ``/healthz``; returns ``url -> health``
+        (``None`` for non-responders, which are quarantined). Raises
+        :class:`ServiceError` only if *no* host answers — a pool with
+        any survivor can still run the sweep."""
+        report: Dict[str, Optional[Dict[str, Any]]] = {}
+        for host in self._hosts:
+            try:
+                report[host.url] = host.client.healthz()
+                self._mark(host, alive=True)
+            except ServiceError as exc:
+                report[host.url] = None
+                self._mark(host, alive=False, error=str(exc))
+        if not any(v is not None for v in report.values()):
+            raise ServiceError(
+                f"no evaluation host is healthy: {self._error_inventory()}"
+            )
+        return report
+
+    def _mark(self, host: _Host, alive: bool, error: Optional[str] = None) -> None:
+        with self._lock:
+            host.alive = alive
+            host.last_error = None if alive else (error or host.last_error)
+            if not alive:
+                host.quarantined_at = time.monotonic()
+
+    def _timed_revival(self) -> None:
+        """Re-probe quarantined hosts whose rest period has elapsed.
+
+        One short healthz per due host per ``revive_after_s`` window —
+        a failed probe restarts its clock, so a still-dead host costs
+        the dispatch path a bounded, occasional probe instead of the
+        full evaluation timeout on every trial.
+        """
+        if self.revive_after_s is None:
+            return
+        now = time.monotonic()
+        for host in self._hosts:
+            with self._lock:
+                due = (
+                    not host.alive
+                    and now - host.quarantined_at >= self.revive_after_s
+                )
+                if due:
+                    host.quarantined_at = now  # claim this probe slot
+            if not due:
+                continue
+            try:
+                host.probe_client.healthz()
+            except ServiceError:
+                continue
+            self._mark(host, alive=True)
+
+    def _error_inventory(self) -> str:
+        with self._lock:
+            return "; ".join(
+                f"{h.url}: {h.last_error or 'ok'}" for h in self._hosts
+            )
+
+    def _revive_sweep(self) -> int:
+        """All hosts are quarantined: healthz-probe each one and revive
+        the responders. Returns how many came back."""
+        revived = 0
+        for host in self._hosts:
+            with self._lock:
+                dead = not host.alive
+            if not dead:
+                continue
+            try:
+                host.probe_client.healthz()
+            except ServiceError:
+                continue
+            self._mark(host, alive=True)
+            revived += 1
+        return revived
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def _acquire(self) -> Optional[_Host]:
+        """Least-loaded living host (in-flight count bumped), or None.
+
+        Load ties break round-robin, not by position: a serial caller
+        (whose in-flight count is always zero at dispatch time) must
+        still spread its requests over the whole fleet instead of
+        pinning the first host.
+        """
+        with self._lock:
+            living = [(i, h) for i, h in enumerate(self._hosts) if h.alive]
+            if not living:
+                return None
+            n = len(self._hosts)
+            start = self._next % n
+            index, host = min(
+                living, key=lambda ih: (ih[1].inflight, (ih[0] - start) % n)
+            )
+            self._next = index + 1
+            host.inflight += 1
+            return host
+
+    def _release(self, host: _Host, n_evals: int, ok: bool) -> None:
+        with self._lock:
+            host.inflight -= 1
+            if ok:
+                host.evals += n_evals
+
+    def _call(self, op: str, n_evals: int, *args: Any, **kwargs: Any) -> Any:
+        """Run ``op`` on the least-loaded host, failing over on
+        transport death; at most one all-dead revival sweep per call."""
+        self._timed_revival()
+        revived_once = False
+        while True:
+            host = self._acquire()
+            if host is None:
+                if not revived_once and self._revive_sweep():
+                    revived_once = True
+                    continue
+                raise ServiceTransportError(
+                    f"all {len(self._hosts)} evaluation host(s) failed: "
+                    f"{self._error_inventory()}"
+                )
+            ok = False
+            try:
+                result = getattr(host.client, op)(*args, **kwargs)
+                ok = True
+            except ServiceTransportError as exc:
+                # The host is unreachable (after the client's own
+                # retries): quarantine it and fail over. The request is
+                # idempotent, so the next host re-runs it safely.
+                self._mark(host, alive=False, error=str(exc))
+                continue
+            finally:
+                self._release(host, n_evals, ok)
+            self._local.last_host = host.url
+            return result
+
+    # -- the ServiceClient surface RemoteBackend uses -----------------------------
+
+    def evaluate(
+        self,
+        env: str,
+        action: Dict[str, Any],
+        env_kwargs: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, float]:
+        """Evaluate one design point on the best available host."""
+        return self._call("evaluate", 1, env, action, env_kwargs=env_kwargs)
+
+    def evaluate_batch(
+        self,
+        env: str,
+        actions: Sequence[Dict[str, Any]],
+        env_kwargs: Optional[Dict[str, Any]] = None,
+        memoize: bool = True,
+    ) -> List[Dict[str, float]]:
+        """Evaluate a batch on one host (whole-batch failover)."""
+        return self._call(
+            "evaluate_batch", len(actions), env, actions,
+            env_kwargs=env_kwargs, memoize=memoize,
+        )
+
+    def healthz(self) -> Dict[str, Any]:
+        """Liveness document of the least-loaded living host."""
+        return self._call("healthz", 0)
+
+    def close(self) -> None:
+        """Close every host client's calling-thread connection."""
+        for host in self._hosts:
+            host.client.close()

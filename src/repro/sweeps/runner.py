@@ -80,6 +80,17 @@ class SweepReport:
         return sum(r.remote_evals for rs in self.results.values() for r in rs)
 
     @property
+    def remote_evals_by_host(self) -> Dict[str, int]:
+        """Remote evaluations broken down by the host that answered —
+        the per-host provenance of a multi-host (``HostPool``) sweep."""
+        totals: Dict[str, int] = {}
+        for rs in self.results.values():
+            for r in rs:
+                for host, count in r.remote_hosts.items():
+                    totals[host] = totals.get(host, 0) + count
+        return totals
+
+    @property
     def sim_time_s(self) -> float:
         """Total seconds spent inside cost models across all trials."""
         return sum(r.sim_time_s for rs in self.results.values() for r in rs)
@@ -213,9 +224,17 @@ class SweepReport:
                 f"shared cache: {self.shared_cache_hits} cross-trial hits"
             )
         if self.remote_evals:
-            lines.append(
-                f"evaluation service: {self.remote_evals} remote evaluations"
-            )
+            line = f"evaluation service: {self.remote_evals} remote evaluations"
+            by_host = self.remote_evals_by_host
+            if by_host:
+                line += (
+                    " ("
+                    + ", ".join(
+                        f"{host}: {n}" for host, n in sorted(by_host.items())
+                    )
+                    + ")"
+                )
+            lines.append(line)
         if boxplots:
             from repro.sweeps.plots import render_boxplots
 
@@ -263,9 +282,10 @@ def run_lottery_sweep(
     resume: bool = False,
     shared_cache: bool = False,
     env_signature: Optional[str] = None,
-    service_url: Optional[str] = None,
+    service_url: Optional[Union[str, Sequence[str]]] = None,
     service_timeout_s: Optional[float] = None,
     service_retries: Optional[int] = None,
+    service_batch: bool = False,
 ) -> SweepReport:
     """Run the hyperparameter-lottery experiment.
 
@@ -332,16 +352,25 @@ def run_lottery_sweep(
         Dispatch every cost-model call to the
         :class:`repro.service.EvaluationService` at this URL instead of
         running it in the worker process — one sweep can then saturate
-        a remote simulator fleet. Environments are still built locally
-        (agents need their spaces and reward specs), seeds and trial
-        order are unchanged, and metrics round-trip JSON exactly, so
-        the report is bit-identical to an in-process run apart from
-        timing and the ``remote_evals`` counter in the footer. Like
-        ``workers``, this is a wall-clock knob and does not participate
-        in the durable-sweep fingerprint. With ``shared_cache=True``
-        the service's ``/cache`` endpoints (not a file under
-        ``out_dir``) provide the shared tier, so sweeps on *different
-        machines* reuse each other's design points.
+        a remote simulator fleet. A *sequence* of URLs schedules the
+        sweep over a least-load multi-host
+        :class:`~repro.sweeps.hostpool.HostPool`: a host that dies
+        mid-sweep is quarantined (after the client retry policy) and
+        its work fails over to the survivors, with per-host evaluation
+        counts reported in ``remote_hosts``. Environments are still
+        built locally (agents need their spaces and reward specs),
+        seeds and trial order are unchanged, and metrics round-trip
+        JSON exactly, so the report is bit-identical to an in-process
+        run apart from timing and the ``remote_evals`` counters in the
+        footer — for any number of hosts. Like ``workers``, this is a
+        wall-clock knob and does not participate in the durable-sweep
+        fingerprint. With ``shared_cache=True`` the *first* service's
+        ``/cache`` endpoints (not a file under ``out_dir``) provide the
+        shared tier, so sweeps on *different machines* reuse each
+        other's design points — note the cache host has no failover
+        (unlike evaluation traffic): if it dies mid-sweep, trials fail
+        loudly rather than silently re-simulating, so keep the first
+        URL on the host that stays up.
     service_timeout_s, service_retries:
         Override the service client's per-attempt socket timeout and
         transport-retry count (defaults: the
@@ -349,10 +378,19 @@ def run_lottery_sweep(
         ``service_timeout_s`` above your slowest single evaluation —
         a timeout shorter than the cost model reads as a dead server
         and fails the trial.
+    service_batch:
+        Route remote evaluations through ``POST /evaluate_batch``
+        instead of per-point ``POST /evaluate``. The server then
+        memoizes every design point into its ``/cache`` store, so
+        concurrent sweeps sharing a server stop re-simulating each
+        other's points even without ``shared_cache``. Results are
+        unchanged (deterministic cost models).
     """
     if n_trials < 1 or n_samples < 1:
         raise ArchGymError("n_trials and n_samples must be >= 1")
     validate_agent_names(agents)
+    if service_url is not None and not isinstance(service_url, str):
+        service_url = tuple(service_url) or None  # empty list == no service
     if resume and out_dir is None:
         raise ArchGymError("resume=True requires out_dir")
     if shared_cache and out_dir is None and service_url is None:
@@ -371,6 +409,7 @@ def run_lottery_sweep(
         env_kwargs=getattr(env_factory, "env_kwargs", None),
         timeout_s=service_timeout_s,
         retries=service_retries,
+        batch=service_batch,
     )
 
     # Draw every trial's lottery ticket in the same order the serial

@@ -15,8 +15,10 @@ from concurrent.futures import ProcessPoolExecutor
 import pytest
 
 from repro.core.cache_store import ServerCacheStore, SharedCacheStore, encode_key
-from repro.core.env import canonical_action_key
+from repro.core.env import ArchGymEnv, canonical_action_key
 from repro.core.errors import ArchGymError, CacheStoreError, ServiceError
+from repro.core.rewards import TargetReward
+from repro.core.spaces import Categorical, CompositeSpace, Discrete
 from repro.service import EvaluationService
 
 
@@ -124,6 +126,54 @@ class CacheStoreContract:
         assert len(store) == per_thread * n_threads
         for i in range(per_thread * n_threads):
             assert store.get(_key(i)) == {"cost": float(i)}
+
+    def test_duplicate_key_last_writer_wins(self, make_store):
+        """Two handles write different values under one key: a fresh
+        handle must see the later write (and the key count once)."""
+        make_store().put(_key(42), {"cost": 1.0})
+        make_store().put(_key(42), {"cost": 2.0})
+        fresh = make_store()
+        assert fresh.get(_key(42)) == {"cost": 2.0}
+        assert len(fresh) == 1
+
+    def test_same_value_re_put_is_idempotent(self, make_store):
+        """Re-putting an identical value through the *same* handle (the
+        memoization pattern: every copy of a deterministic cost model's
+        answer agrees) must not duplicate the entry."""
+        store = make_store()
+        store.put(_key(7), {"cost": 7.0})
+        store.put(_key(7), {"cost": 7.0})
+        assert len(make_store()) == 1
+        assert make_store().get(_key(7)) == {"cost": 7.0}
+
+    def test_concurrent_same_key_writers_never_tear(self, make_store):
+        """8 threads race different multi-field values onto ONE key; a
+        fresh handle must read exactly one writer's value intact —
+        last-writer-wins may pick any of them, but never a mixture."""
+        n_threads = 8
+        candidates = [
+            {"cost": float(t), "power": float(t) * 0.5, "tag": float(t) + 100.0}
+            for t in range(n_threads)
+        ]
+        errors = []
+
+        def write(t):
+            try:
+                make_store().put(_key(0), candidates[t])
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=write, args=(t,)) for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        fresh = make_store()
+        assert fresh.get(_key(0)) in candidates
+        assert len(fresh) == 1
 
 
 class TestSharedCacheStoreContract(CacheStoreContract):
@@ -285,3 +335,96 @@ class TestKeyEncoding:
 
     def test_distinct_keys_distinct_encodings(self):
         assert encode_key(_key(1)) != encode_key(_key(2))
+
+
+# -- the server-memoization path --------------------------------------------------
+
+
+class _MemoEnv(ArchGymEnv):
+    """Deterministic 16-point env the memoization battery serves."""
+
+    env_id = "MemoEnv-v0"
+
+    def __init__(self):
+        super().__init__(
+            action_space=CompositeSpace(
+                [Discrete("x", 0, 7, 1), Categorical("m", ("a", "b"))]
+            ),
+            observation_metrics=["cost"],
+            reward_spec=TargetReward("cost", target=1.0),
+        )
+
+    def evaluate(self, action):
+        return {"cost": 0.1 + 0.2 + action["x"] + (action["m"] == "a")}
+
+
+class TestServerMemoizationPath:
+    """`/evaluate_batch` memoization and explicit `PUT /cache` must be
+    one and the same map: identical keys, identical entries, identical
+    hit behavior — a store reader cannot tell which path fed it."""
+
+    def _actions(self, n):
+        return [{"x": i % 8, "m": "a" if i % 2 else "b"} for i in range(n)]
+
+    @pytest.fixture()
+    def memo_service(self):
+        with EvaluationService() as svc:
+            svc.register("MemoEnv-v0", _MemoEnv)
+            yield svc
+
+    def test_batch_entries_equal_explicit_put_entries(self, memo_service):
+        """Feed one server via /evaluate_batch and another via explicit
+        PUTs of locally computed metrics: every cache read must agree
+        byte-for-byte, and the sizes must match."""
+        from repro.service import ServiceClient
+
+        actions = self._actions(6)
+        batch_client = ServiceClient(memo_service.url, timeout_s=10.0, retries=0)
+        batch_client.evaluate_batch("MemoEnv-v0", actions)
+
+        with EvaluationService() as explicit:
+            put_client = ServiceClient(explicit.url, timeout_s=10.0, retries=0)
+            env = _MemoEnv()
+            for action in actions:
+                put_client.cache_put(
+                    encode_key(canonical_action_key(action)),
+                    env.evaluate(action),
+                )
+            assert batch_client.cache_size() == put_client.cache_size()
+            for action in actions:
+                key_str = encode_key(canonical_action_key(action))
+                assert batch_client.cache_get(key_str) == put_client.cache_get(
+                    key_str
+                )
+
+    def test_server_cache_store_reads_memoized_entries(self, memo_service):
+        """A ServerCacheStore pointed at a batch-fed server hits the
+        memoized entries exactly as if they had been explicitly put."""
+        from repro.service import ServiceClient
+
+        actions = self._actions(4)
+        client = ServiceClient(memo_service.url, timeout_s=10.0, retries=0)
+        batched = client.evaluate_batch("MemoEnv-v0", actions)
+
+        store = ServerCacheStore(memo_service.url, timeout_s=10.0, retries=0)
+        assert len(store) == len(actions)
+        for action, metrics in zip(actions, batched):
+            assert store.get(canonical_action_key(action)) == metrics
+
+    def test_store_puts_count_as_batch_memo_hits(self, memo_service):
+        """The inverse direction: entries written through the store
+        contract answer batch points without touching the cost model."""
+        actions = self._actions(5)
+        store = ServerCacheStore(memo_service.url, timeout_s=10.0, retries=0)
+        env = _MemoEnv()
+        for action in actions:
+            store.put(canonical_action_key(action), env.evaluate(action))
+
+        from repro.service import ServiceClient
+
+        client = ServiceClient(memo_service.url, timeout_s=10.0, retries=0)
+        batched = client.evaluate_batch("MemoEnv-v0", actions)
+        health = client.healthz()
+        assert health["evaluations"] == 0  # every point was a memo hit
+        assert health["memo_hits"] == len(actions)
+        assert batched == [env.evaluate(a) for a in actions]

@@ -1,0 +1,489 @@
+"""Tests for multi-host sweep scheduling (`repro.sweeps.HostPool`).
+
+Three batteries:
+
+1. **Scheduling** — least-load dispatch with round-robin tie-breaks
+   (a serial caller spreads over the fleet), per-host accounting, and
+   health checks.
+2. **Fault injection** — a host killed mid-sweep fails over with no
+   lost or duplicated trials; every host dead surfaces a
+   :class:`ServiceError` naming the trial; a host returning torn batch
+   bodies is retried, then quarantined; a restarted host is revived.
+3. **Parity** — the acceptance battery: one fixed-seed DRAM sweep run
+   serial in-process, with ``workers=4``, against a single service,
+   and over a 2-host pool with batching enabled produces byte-identical
+   reports, datasets, and shard artifacts.
+"""
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.cli import RegistryEnvFactory
+from repro.core.errors import ServiceError, ServiceTransportError
+from repro.service import EvaluationService
+from repro.sweeps import HostPool, clear_backend_cache, run_lottery_sweep
+
+# Reuse the deterministic service env (module-level, so tasks pickle)
+# and the dead-port probe.
+from test_service import SvcCountingEnv, _free_port
+
+
+@pytest.fixture(autouse=True)
+def _fresh_backend_cache():
+    """Pools memoize per-process; tests must not inherit another test's
+    quarantine state for a recycled URL."""
+    clear_backend_cache()
+    yield
+    clear_backend_cache()
+
+
+def _service(env_cls=SvcCountingEnv, port=0):
+    svc = EvaluationService(port=port)
+    svc.register("SvcCounting-v0", env_cls)
+    svc.start()
+    return svc
+
+
+@pytest.fixture()
+def two_services():
+    a, b = _service(), _service()
+    yield a, b
+    a.stop()
+    b.stop()
+
+
+class TestBackendCacheForkSafety:
+    def test_cache_memoizes_within_one_process(self):
+        from repro.sweeps import BackendSpec
+        from repro.sweeps.executor import build_backend
+
+        spec = BackendSpec(kind="remote", service_url="http://127.0.0.1:1")
+        first = build_backend(spec)
+        assert build_backend(spec) is first
+
+    def test_cache_dropped_on_pid_change(self, monkeypatch):
+        """A forked worker inherits the parent's cache and its clients'
+        open keep-alive sockets; reusing them would interleave two
+        processes' HTTP streams. A PID mismatch must drop the cache."""
+        from repro.sweeps import BackendSpec
+        from repro.sweeps import executor as executor_module
+
+        spec = BackendSpec(kind="remote", service_url="http://127.0.0.1:1")
+        parent_backend = executor_module.build_backend(spec)
+        monkeypatch.setattr(executor_module.os, "getpid", lambda: -12345)
+        child_backend = executor_module.build_backend(spec)
+        assert child_backend is not parent_backend
+
+    def test_serial_then_forked_sweep_against_one_service(self, two_services):
+        """The real fork path: a serial remote sweep primes the parent's
+        backend cache (and opens a keep-alive socket), then a workers=2
+        sweep against the same URL forks from that state — results must
+        stay bit-identical, not cross-wired."""
+        a, _ = two_services
+        kw = dict(agents=("rw",), n_trials=2, n_samples=10, seed=4)
+        serial = run_lottery_sweep(
+            SvcCountingEnv, workers=1, service_url=a.url, **kw
+        )
+        forked = run_lottery_sweep(
+            SvcCountingEnv, workers=2, service_url=a.url, **kw
+        )
+        assert _normalized(serial) == _normalized(forked)
+        assert forked.remote_evals > 0
+
+
+class TestHostPoolScheduling:
+    def test_urls_deduped_order_kept(self):
+        pool = HostPool(
+            ["http://h1:1", "http://h2:1", "http://h1:1"], timeout_s=1.0
+        )
+        assert pool.urls == ["http://h1:1", "http://h2:1"]
+
+    def test_url_spellings_of_one_server_collapse(self):
+        """'http://h:1' and 'http://h:1/' are one server: two _Host
+        entries for it would split quarantine state and double its
+        dispatch share."""
+        pool = HostPool(["http://h1:1", "http://h1:1/"], timeout_s=1.0)
+        assert pool.urls == ["http://h1:1"]
+
+    def test_single_string_is_one_host_pool(self):
+        assert HostPool("http://h1:1", timeout_s=1.0).urls == ["http://h1:1"]
+
+    def test_no_urls_rejected(self):
+        with pytest.raises(ServiceError, match="at least one"):
+            HostPool([])
+
+    def test_serial_calls_spread_round_robin(self, two_services):
+        a, b = two_services
+        pool = HostPool([a.url, b.url], timeout_s=10.0, retries=0)
+        for i in range(8):
+            pool.evaluate("SvcCounting-v0", {"x": i % 8, "m": "a"})
+        assert a.evaluations == 4 and b.evaluations == 4
+        assert pool.evals_by_host == {a.url: 4, b.url: 4}
+
+    def test_loaded_host_sheds_to_idle_one(self, two_services):
+        a, b = two_services
+        pool = HostPool([a.url, b.url], timeout_s=10.0, retries=0)
+        # Pin synthetic in-flight load on host a: every call must go b.
+        pool._hosts[0].inflight = 5
+        for i in range(4):
+            pool.evaluate("SvcCounting-v0", {"x": i, "m": "a"})
+        assert a.evaluations == 0 and b.evaluations == 4
+
+    def test_last_host_tracks_the_answering_host(self, two_services):
+        a, b = two_services
+        pool = HostPool([a.url, b.url], timeout_s=10.0, retries=0)
+        pool.evaluate("SvcCounting-v0", {"x": 1, "m": "a"})
+        first = pool.last_host
+        pool.evaluate("SvcCounting-v0", {"x": 2, "m": "a"})
+        assert {first, pool.last_host} == {a.url, b.url}
+
+    def test_check_health_quarantines_non_responders(self, two_services):
+        a, b = two_services
+        dead = f"http://127.0.0.1:{_free_port()}"
+        pool = HostPool(
+            [a.url, dead, b.url], timeout_s=1.0, retries=0, backoff_s=0.01
+        )
+        report = pool.check_health()
+        assert report[a.url]["status"] == "ok"
+        assert report[b.url]["status"] == "ok"
+        assert report[dead] is None
+        assert pool.quarantined_urls == [dead]
+
+    def test_check_health_all_dead_raises(self):
+        pool = HostPool(
+            [f"http://127.0.0.1:{_free_port()}" for _ in range(2)],
+            timeout_s=0.5, retries=0, backoff_s=0.01,
+        )
+        with pytest.raises(ServiceError, match="no evaluation host is healthy"):
+            pool.check_health()
+
+
+class TestHostPoolFailover:
+    def test_dead_host_quarantined_call_fails_over(self, two_services):
+        a, b = two_services
+        url_a = a.url
+        pool = HostPool([url_a, b.url], timeout_s=1.0, retries=0, backoff_s=0.01)
+        a.stop()
+        for i in range(4):  # round-robin would hit a twice; both go b
+            pool.evaluate("SvcCounting-v0", {"x": i, "m": "a"})
+        assert b.evaluations == 4
+        assert pool.quarantined_urls == [url_a]
+
+    def test_all_hosts_dead_raises_with_inventory(self):
+        urls = [f"http://127.0.0.1:{_free_port()}" for _ in range(2)]
+        pool = HostPool(urls, timeout_s=0.5, retries=0, backoff_s=0.01)
+        with pytest.raises(ServiceTransportError) as excinfo:
+            pool.evaluate("SvcCounting-v0", {"x": 1, "m": "a"})
+        message = str(excinfo.value)
+        assert "all 2 evaluation host(s) failed" in message
+        for url in urls:
+            assert url in message
+
+    def test_server_produced_error_propagates_without_quarantine(
+        self, two_services
+    ):
+        a, b = two_services
+        pool = HostPool([a.url, b.url], timeout_s=10.0, retries=0)
+        with pytest.raises(ServiceError, match="unknown environment") as excinfo:
+            pool.evaluate("Nope-v0", {"x": 1})
+        assert not isinstance(excinfo.value, ServiceTransportError)
+        assert pool.quarantined_urls == []  # deterministic failure != death
+
+    def test_quarantined_host_rejoins_after_revive_period(self, two_services):
+        """One transient failure must not cost a host the whole sweep:
+        after revive_after_s the pool re-probes its healthz and puts it
+        back in rotation — even while other hosts are still alive."""
+        a, b = two_services
+        url_a = a.url
+        port_a = a.port
+        pool = HostPool(
+            [url_a, b.url], timeout_s=1.0, retries=0, backoff_s=0.01,
+            revive_after_s=0.05,
+        )
+        a.stop()
+        for i in range(4):
+            pool.evaluate("SvcCounting-v0", {"x": i, "m": "a"})
+        assert pool.quarantined_urls == [url_a]
+        restarted = _service(port=port_a)
+        try:
+            time.sleep(0.1)  # let the rest period elapse
+            before = restarted.evaluations
+            for i in range(4):
+                pool.evaluate("SvcCounting-v0", {"x": i, "m": "a"})
+            assert pool.quarantined_urls == []
+            assert restarted.evaluations > before  # back in rotation
+        finally:
+            restarted.stop()
+
+    def test_failed_probe_restarts_the_revival_clock(self, two_services):
+        a, b = two_services
+        url_a = a.url
+        pool = HostPool(
+            [url_a, b.url], timeout_s=1.0, retries=0, backoff_s=0.01,
+            revive_after_s=0.05,
+        )
+        a.stop()
+        pool.evaluate("SvcCounting-v0", {"x": 1, "m": "a"})
+        assert pool.quarantined_urls == [url_a]
+        time.sleep(0.1)
+        stamp_before = pool._hosts[0].quarantined_at
+        pool.evaluate("SvcCounting-v0", {"x": 2, "m": "a"})  # probe fails
+        assert pool.quarantined_urls == [url_a]  # still dead
+        assert pool._hosts[0].quarantined_at > stamp_before  # clock reset
+
+    def test_restarted_host_is_revived_when_all_else_fails(self):
+        svc = _service()
+        port = svc.port
+        pool = HostPool([svc.url], timeout_s=1.0, retries=0, backoff_s=0.01)
+        pool.evaluate("SvcCounting-v0", {"x": 1, "m": "a"})
+        svc.stop()
+        with pytest.raises(ServiceTransportError):
+            pool.evaluate("SvcCounting-v0", {"x": 2, "m": "a"})
+        assert pool.quarantined_urls == [pool.urls[0]]
+        revived = _service(port=port)
+        try:
+            result = pool.evaluate("SvcCounting-v0", {"x": 2, "m": "a"})
+            assert result == SvcCountingEnv().evaluate({"x": 2, "m": "a"})
+            assert pool.quarantined_urls == []
+        finally:
+            revived.stop()
+
+
+# -- fault-injection battery ------------------------------------------------------
+
+
+class _TornBatchHandler(BaseHTTPRequestHandler):
+    """Answers every request with truncated, unparseable JSON and
+    counts how many times it was asked."""
+
+    requests_seen = 0
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, *args):
+        pass
+
+    def _torn(self):
+        type(self).requests_seen += 1
+        # Drain the request body so the keep-alive socket stays in sync
+        # — this server's responses are corrupt, not its HTTP framing.
+        self.rfile.read(int(self.headers.get("Content-Length") or 0))
+        body = b'{"metrics": [{"cost": 1.'  # truncated mid-float
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_GET = do_POST = do_PUT = _torn
+
+
+class TestMultiHostFaultInjection:
+    def test_host_killed_mid_sweep_fails_over_no_lost_or_dup_trials(self):
+        """Host A dies partway through the sweep (the in-process analog
+        of a SIGKILL: listener and live sockets force-closed). The
+        sweep must complete on host B with results bit-identical to an
+        in-process run — every trial present exactly once."""
+        svc_a = EvaluationService()
+
+        class DyingEnv(SvcCountingEnv):
+            env_id = "SvcCounting-v0"
+            calls = 0
+
+            def evaluate(self, action):
+                type(self).calls += 1
+                if type(self).calls == 5:
+                    threading.Thread(target=svc_a.stop, daemon=True).start()
+                    time.sleep(0.2)
+                return super().evaluate(action)
+
+        svc_a.register("SvcCounting-v0", DyingEnv)
+        url_a = svc_a.start()
+        svc_b = _service()
+        url_b = svc_b.url
+        kw = dict(agents=("rw", "ga"), n_trials=2, n_samples=15, seed=9)
+        try:
+            baseline = run_lottery_sweep(SvcCountingEnv, **kw)
+            multihost = run_lottery_sweep(
+                SvcCountingEnv,
+                service_url=[url_a, url_b],
+                service_timeout_s=5.0, service_retries=1,
+                **kw,
+            )
+        finally:
+            svc_a.stop()
+            svc_b.stop()
+        assert _normalized(multihost) == _normalized(baseline)
+        # no lost trials, no duplicated trials
+        for agent in kw["agents"]:
+            assert len(multihost.results[agent]) == kw["n_trials"]
+        # the survivor really carried the post-death load, and the
+        # per-host provenance says so
+        assert svc_b.evaluations > 0
+        by_host = multihost.remote_evals_by_host
+        assert by_host.get(url_b, 0) > 0
+        assert sum(by_host.values()) == multihost.remote_evals
+
+    def test_all_hosts_dead_surfaces_service_error_naming_trial(self):
+        urls = [f"http://127.0.0.1:{_free_port()}" for _ in range(2)]
+        with pytest.raises(ServiceError, match=r"trial rw/0"):
+            run_lottery_sweep(
+                SvcCountingEnv,
+                agents=("rw",), n_trials=2, n_samples=10, seed=1,
+                service_url=urls,
+                service_timeout_s=0.5, service_retries=0,
+            )
+
+    def test_torn_batch_bodies_retried_then_quarantined(self):
+        """A host answering /evaluate_batch with torn JSON gets the
+        client's full retry allowance, then the pool quarantines it and
+        the batch completes on the healthy host."""
+        _TornBatchHandler.requests_seen = 0
+        httpd = ThreadingHTTPServer(("127.0.0.1", 0), _TornBatchHandler)
+        httpd.daemon_threads = True
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        torn_url = f"http://127.0.0.1:{httpd.server_address[1]}"
+        good = _service()
+        try:
+            pool = HostPool(
+                [torn_url, good.url], timeout_s=2.0, retries=1, backoff_s=0.01
+            )
+            actions = [{"x": i, "m": "a"} for i in range(4)]
+            batched = pool.evaluate_batch("SvcCounting-v0", actions)
+            env = SvcCountingEnv()
+            assert batched == [env.evaluate(a) for a in actions]
+            # retried (retries=1 -> 2 attempts) before giving up on it
+            assert _TornBatchHandler.requests_seen == 2
+            assert pool.quarantined_urls == [torn_url]
+            # later batches go straight to the healthy host
+            pool.evaluate_batch("SvcCounting-v0", actions)
+            assert _TornBatchHandler.requests_seen == 2
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            good.stop()
+
+
+# -- the parity battery -----------------------------------------------------------
+
+
+def _normalized(report):
+    """Trial records with the legitimately execution-dependent fields
+    (timing; where the simulator ran) zeroed."""
+    rows = []
+    for agent in sorted(report.results):
+        for res in report.results[agent]:
+            rec = res.to_record()
+            rec["wall_time_s"] = 0.0
+            rec["sim_time_s"] = 0.0
+            rec["remote_evals"] = 0
+            rec["remote_hosts"] = {}
+            rows.append(rec)
+    return rows
+
+
+def _normalized_shard_bytes(path):
+    """A shard file's canonical bytes with per-trial timing/transport
+    fields zeroed — everything else (actions, metrics, transitions,
+    provenance, key order) must match byte-for-byte."""
+    record = json.loads(path.read_text())
+    record["result"]["wall_time_s"] = 0.0
+    record["result"]["sim_time_s"] = 0.0
+    record["result"]["remote_evals"] = 0
+    record["result"]["remote_hosts"] = {}
+    return json.dumps(record, separators=(",", ":")).encode("utf-8")
+
+
+class TestFourModeParity:
+    """The acceptance battery: one fixed-seed DRAM sweep, four
+    execution modes, byte-identical reports, datasets, and shards."""
+
+    KW = dict(
+        agents=("rw", "ga"), n_trials=2, n_samples=12, seed=7,
+        collect_dataset=True,
+    )
+
+    @pytest.fixture(scope="class")
+    def modes(self, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("four-mode-parity")
+        factory = RegistryEnvFactory("DRAMGym-v0")
+
+        def dram_service():
+            import functools
+
+            import repro
+
+            svc = EvaluationService()
+            svc.register(
+                "DRAMGym-v0", functools.partial(repro.make, "DRAMGym-v0")
+            )
+            svc.start()
+            return svc
+
+        single = dram_service()
+        pool_a, pool_b = dram_service(), dram_service()
+        pool_urls = (pool_a.url, pool_b.url)
+        try:
+            reports = {
+                "serial": run_lottery_sweep(
+                    factory, workers=1, out_dir=tmp_path / "serial", **self.KW
+                ),
+                "workers4": run_lottery_sweep(
+                    factory, workers=4, out_dir=tmp_path / "workers4", **self.KW
+                ),
+                "service": run_lottery_sweep(
+                    factory, service_url=single.url,
+                    out_dir=tmp_path / "service", **self.KW
+                ),
+                "hostpool": run_lottery_sweep(
+                    factory, service_url=list(pool_urls),
+                    service_batch=True,
+                    out_dir=tmp_path / "hostpool", **self.KW
+                ),
+            }
+        finally:
+            single.stop()
+            pool_a.stop()
+            pool_b.stop()
+        return tmp_path, reports, pool_urls
+
+    def test_reports_bit_identical(self, modes):
+        _, reports, _ = modes
+        reference = _normalized(reports["serial"])
+        for mode in ("workers4", "service", "hostpool"):
+            assert _normalized(reports[mode]) == reference, mode
+
+    def test_datasets_byte_identical(self, modes):
+        tmp_path, reports, _ = modes
+        paths = {}
+        for mode, report in reports.items():
+            out = tmp_path / f"{mode}.jsonl"
+            report.dataset.save_jsonl(out)
+            paths[mode] = out.read_bytes()
+        assert len(set(paths.values())) == 1
+
+    def test_shard_artifacts_byte_identical(self, modes):
+        tmp_path, _, _ = modes
+        shard_names = sorted(
+            p.name for p in (tmp_path / "serial").glob("trial-*.json")
+        )
+        assert shard_names  # the durable path really produced shards
+        for name in shard_names:
+            reference = _normalized_shard_bytes(tmp_path / "serial" / name)
+            for mode in ("workers4", "service", "hostpool"):
+                assert (
+                    _normalized_shard_bytes(tmp_path / mode / name) == reference
+                ), f"{mode}/{name}"
+
+    def test_both_pool_hosts_participated(self, modes):
+        _, reports, (url_a, url_b) = modes
+        by_host = reports["hostpool"].remote_evals_by_host
+        assert by_host.get(url_a, 0) > 0
+        assert by_host.get(url_b, 0) > 0
+        assert (
+            sum(by_host.values()) == reports["hostpool"].remote_evals
+        )

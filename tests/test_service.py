@@ -24,8 +24,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 import numpy as np
 import pytest
 
-from repro.core.env import ArchGymEnv
-from repro.core.errors import ServiceError
+from repro.core.env import ArchGymEnv, canonical_action_key
+from repro.core.errors import ServiceError, ServiceTransportError
 from repro.core.rewards import TargetReward
 from repro.core.spaces import Categorical, CompositeSpace, Discrete
 from repro.service import EvaluationService, RemoteBackend, RemoteEnv, ServiceClient
@@ -181,6 +181,265 @@ class TestServerEndpoints:
             service.register("SvcCounting-v0", SvcCountingEnv)
 
 
+class TestBatchEndpoint:
+    """``POST /evaluate_batch``: many design points, one round trip,
+    one instance-lock acquisition, server-side memoization.
+
+    Memoization tests run on a *single-env* server (``memo_client``):
+    the ``/cache`` map is keyed on the design point alone, so a server
+    hosting several environments auto-disables the memo rather than
+    serving one env's metrics to another.
+    """
+
+    @pytest.fixture()
+    def memo_service(self):
+        with EvaluationService() as svc:
+            svc.register("SvcCounting-v0", SvcCountingEnv)
+            yield svc
+
+    @pytest.fixture()
+    def memo_client(self, memo_service):
+        return ServiceClient(
+            memo_service.url, timeout_s=10.0, retries=1, backoff_s=0.01
+        )
+
+    def _actions(self, n):
+        return [{"x": i % 8, "m": "a" if i % 2 else "b"} for i in range(n)]
+
+    def test_batch_matches_per_point_bit_exactly(self, client):
+        actions = self._actions(6)
+        singles = [client.evaluate("SvcCounting-v0", a) for a in actions]
+        # memoize off so both paths really run the cost model
+        batched = client.evaluate_batch(
+            "SvcCounting-v0", actions, memoize=False
+        )
+        assert batched == singles
+
+    def test_batch_is_one_round_trip(self, service):
+        client = ServiceClient(service.url, timeout_s=10.0, retries=0)
+        client.evaluate_batch("SvcCounting-v0", self._actions(64))
+        assert client.requests_sent == 1
+
+    def test_batch_preserves_request_order(self, client):
+        actions = list(reversed(self._actions(8)))
+        batched = client.evaluate_batch("SvcCounting-v0", actions, memoize=False)
+        env = SvcCountingEnv()
+        assert batched == [env.evaluate(a) for a in actions]
+
+    def test_metric_key_order_survives_batch(self, client):
+        batched = client.evaluate_batch("MultiMetric-v0", self._actions(3))
+        local = MultiMetricEnv()
+        for action, remote in zip(self._actions(3), batched):
+            assert list(remote) == list(local.evaluate(action))
+
+    def test_memoization_feeds_the_cache_store(self, memo_client):
+        """Every fresh batch evaluation must land in /cache under the
+        exact key an explicit PUT of that design point would use."""
+        from repro.core.cache_store import encode_key
+
+        actions = self._actions(5)
+        batched = memo_client.evaluate_batch("SvcCounting-v0", actions)
+        assert memo_client.cache_size() == len(actions)
+        for action, metrics in zip(actions, batched):
+            key_str = encode_key(canonical_action_key(action))
+            assert memo_client.cache_get(key_str) == metrics
+
+    def test_repeat_batch_hits_memo_not_cost_model(self, memo_client):
+        actions = self._actions(4)
+        memo_client.evaluate_batch("SvcCounting-v0", actions)
+        evals_before = memo_client.healthz()["evaluations"]
+        memo_client.evaluate_batch("SvcCounting-v0", actions)
+        health = memo_client.healthz()
+        assert health["evaluations"] == evals_before  # nothing re-simulated
+        assert health["memo_hits"] == len(actions)
+        assert health["batch_requests"] == 2
+
+    def test_explicit_cache_put_preseeds_batch(self, memo_client):
+        """An entry written via PUT /cache answers a later batch point
+        — the memo and the explicit cache are one map."""
+        from repro.core.cache_store import encode_key
+
+        action = {"x": 5, "m": "a"}
+        planted = {"cost": 123.456}
+        memo_client.cache_put(encode_key(canonical_action_key(action)), planted)
+        batched = memo_client.evaluate_batch("SvcCounting-v0", [action])
+        assert batched == [planted]
+        assert memo_client.healthz()["evaluations"] == 0  # env never built
+
+    def test_duplicate_points_in_one_batch_simulate_once(self, memo_client):
+        action = {"x": 1, "m": "a"}
+        batched = memo_client.evaluate_batch(
+            "SvcCounting-v0", [action, action, action]
+        )
+        assert batched[0] == batched[1] == batched[2]
+        assert memo_client.healthz()["evaluations"] == 1
+
+    def test_memoize_false_skips_the_store(self, memo_client):
+        memo_client.evaluate_batch(
+            "SvcCounting-v0", self._actions(3), memoize=False
+        )
+        assert memo_client.cache_size() == 0
+        assert memo_client.healthz()["evaluations"] == 3
+
+    def test_numpy_action_values_hit_the_same_memo_line(self, memo_client):
+        plain = memo_client.evaluate_batch("SvcCounting-v0", [{"x": 4, "m": "a"}])
+        numpyish = memo_client.evaluate_batch(
+            "SvcCounting-v0", [{"x": np.int64(4), "m": "a"}]
+        )
+        assert plain == numpyish
+        assert memo_client.healthz()["evaluations"] == 1  # second was memo
+
+    def test_multi_env_server_never_memoizes(self, service, client):
+        """Regression: the /cache map is keyed on the design point
+        alone, so a server hosting several environments must NOT
+        memoize — two envs sharing an action shape would serve each
+        other's metrics. (`service` registers three envs.)"""
+        actions = self._actions(3)
+        client.evaluate_batch("SvcCounting-v0", actions)
+        assert client.cache_size() == 0  # nothing memoized
+        client.evaluate_batch("MultiMetric-v0", actions)
+        health = client.healthz()
+        assert health["memo_hits"] == 0
+        # same action shapes, distinct envs: each simulated on its own
+        assert health["evaluations"] == 2 * len(actions)
+        # and the two envs' metrics never crossed
+        multi = client.evaluate_batch("MultiMetric-v0", actions)
+        assert multi == [MultiMetricEnv().evaluate(a) for a in actions]
+
+    def test_empty_batch_rejected_client_side(self, client):
+        with pytest.raises(ServiceError, match="at least one action"):
+            client.evaluate_batch("SvcCounting-v0", [])
+
+    def test_malformed_batch_body_is_400(self, client):
+        with pytest.raises(ServiceError, match="actions"):
+            client._checked("POST", "/evaluate_batch", {"env": "SvcCounting-v0"})
+
+    def test_unknown_env_in_batch_is_service_error(self, client):
+        with pytest.raises(ServiceError, match="Nope-v0"):
+            client.evaluate_batch("Nope-v0", [{"x": 1}])
+
+    def test_cost_model_crash_in_batch_is_service_error(self, client):
+        with pytest.raises(ServiceError, match="simulator exploded"):
+            client.evaluate_batch("Crashing-v0", [{"x": 1, "m": "a"}])
+
+
+class TestKeepAlive:
+    """The connection-reuse contract: one socket per thread for a whole
+    request stream, with a free (non-retry) re-send on a stale socket."""
+
+    def test_many_requests_one_connection(self, service):
+        client = ServiceClient(service.url, timeout_s=10.0, retries=0)
+        for i in range(20):
+            client.evaluate("SvcCounting-v0", {"x": i % 8, "m": "a"})
+        assert client.connections_opened == 1
+        assert client.requests_sent == 20
+
+    def test_mixed_verbs_share_the_connection(self, service):
+        client = ServiceClient(service.url, timeout_s=10.0, retries=0)
+        client.healthz()
+        client.evaluate("SvcCounting-v0", {"x": 1, "m": "a"})
+        client.cache_put("k", {"cost": 1.0})
+        client.cache_get("k")
+        client.cache_size()
+        assert client.connections_opened == 1
+
+    def test_stale_socket_reconnects_without_burning_a_retry(self):
+        """Server restarts between requests: the idle keep-alive socket
+        is dead, and even a retries=0 client must transparently
+        reconnect — the request bytes never reached a live peer."""
+        svc1 = EvaluationService()
+        svc1.register("SvcCounting-v0", SvcCountingEnv)
+        svc1.start()
+        port = svc1.port
+        client = ServiceClient(svc1.url, timeout_s=10.0, retries=0)
+        expected = client.evaluate("SvcCounting-v0", {"x": 1, "m": "a"})
+        svc1.stop()
+        svc2 = EvaluationService(port=port)
+        svc2.register("SvcCounting-v0", SvcCountingEnv)
+        svc2.start()
+        try:
+            again = client.evaluate("SvcCounting-v0", {"x": 1, "m": "a"})
+            assert again == expected
+            assert client.connections_opened == 2  # one reconnect, no retry
+        finally:
+            svc2.stop()
+
+    def test_early_error_reply_does_not_desync_the_connection(self, service):
+        """An error reply sent before the request body was read (404
+        route, malformed token) must drain the body — otherwise the
+        leftover bytes parse as the next request and poison every
+        later request on the keep-alive socket."""
+        client = ServiceClient(service.url, timeout_s=10.0, retries=0)
+        status, _ = client._request("POST", "/no-such-route", {"pad": "x" * 256})
+        assert status == 404
+        status, _ = client._request("PUT", "/cache/!!bad-token!!", {"m": {}})
+        assert status == 400
+        # the same connection must still serve real requests
+        result = client.evaluate("SvcCounting-v0", {"x": 1, "m": "a"})
+        assert result == SvcCountingEnv().evaluate({"x": 1, "m": "a"})
+        assert client.connections_opened == 1
+
+    def test_stop_closes_live_keepalive_connections(self, service):
+        """A stopped server must be *dead* to its connected clients —
+        not quietly kept alive by a blocked handler thread."""
+        client = ServiceClient(
+            service.url, timeout_s=2.0, retries=0, backoff_s=0.01
+        )
+        client.evaluate("SvcCounting-v0", {"x": 1, "m": "a"})  # connect
+        service.stop()
+        with pytest.raises(ServiceError):
+            client.evaluate("SvcCounting-v0", {"x": 2, "m": "a"})
+
+
+class TestRetryPolicy:
+    """Backoff discipline: applied after every retryable failure,
+    capped in total, and absent entirely for retries=0."""
+
+    def test_zero_retries_never_sleeps(self, monkeypatch):
+        def forbidden_sleep(_):
+            raise AssertionError("retries=0 client slept")
+
+        monkeypatch.setattr("repro.service.client.time.sleep", forbidden_sleep)
+        client = ServiceClient(
+            f"http://127.0.0.1:{_free_port()}", timeout_s=0.5, retries=0
+        )
+        with pytest.raises(ServiceTransportError, match="after 1 attempt"):
+            client.healthz()
+
+    def test_total_backoff_is_capped(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr("repro.service.client.time.sleep", sleeps.append)
+        client = ServiceClient(
+            f"http://127.0.0.1:{_free_port()}",
+            timeout_s=0.5, retries=10, backoff_s=0.5, backoff_cap_s=1.0,
+        )
+        with pytest.raises(ServiceTransportError, match="after 11 attempt"):
+            client.healthz()
+        assert sum(sleeps) <= 1.0 + 1e-9
+        assert all(s > 0 for s in sleeps)  # zero-length sleeps are skipped
+
+    def test_transport_exhaustion_is_typed(self):
+        """Exhaustion raises ServiceTransportError — the failover
+        signal — which is still a ServiceError for existing callers."""
+        client = ServiceClient(
+            f"http://127.0.0.1:{_free_port()}", timeout_s=0.5, retries=0
+        )
+        with pytest.raises(ServiceTransportError):
+            client.healthz()
+        assert issubclass(ServiceTransportError, ServiceError)
+
+    def test_server_produced_errors_are_not_transport_errors(self, client):
+        """A 4xx the server answered must raise plain ServiceError:
+        failing it over to another host would be pointless."""
+        with pytest.raises(ServiceError) as excinfo:
+            client.evaluate("Nope-v0", {"x": 1})
+        assert not isinstance(excinfo.value, ServiceTransportError)
+
+    def test_bad_backoff_cap_rejected(self):
+        with pytest.raises(ServiceError, match="backoff_cap_s"):
+            ServiceClient("http://127.0.0.1:1", backoff_cap_s=-1.0)
+
+
 class TestRemoteBackend:
     def test_remote_env_steps_without_local_evaluations(self, service):
         env = RemoteEnv(SvcCountingEnv(), service.url)
@@ -228,6 +487,7 @@ def _normalized_records(report):
             rec["wall_time_s"] = 0.0
             rec["sim_time_s"] = 0.0
             rec["remote_evals"] = 0
+            rec["remote_hosts"] = {}
             rows.append(rec)
     return rows
 
@@ -281,6 +541,31 @@ class TestServiceSweepParity:
         )
         assert _normalized_records(serial) == _normalized_records(fanned)
         assert fanned.remote_evals > 0
+
+    def test_batched_dispatch_bit_identical(self):
+        """service_batch=True rides /evaluate_batch (server-side
+        memoization on — the server hosts one env, so it applies) and
+        must change nothing about the results."""
+        kw = dict(agents=("rw",), n_trials=2, n_samples=10, seed=4)
+        serial = run_lottery_sweep(SvcCountingEnv, workers=1, **kw)
+        with EvaluationService() as single_env_svc:
+            single_env_svc.register("SvcCounting-v0", SvcCountingEnv)
+            batched = run_lottery_sweep(
+                SvcCountingEnv, service_url=single_env_svc.url,
+                service_batch=True, **kw
+            )
+            assert batched.remote_evals > 0
+            assert single_env_svc.batch_requests > 0
+            assert single_env_svc.cache_size() > 0  # memoization fed /cache
+        assert _normalized_records(serial) == _normalized_records(batched)
+
+    def test_remote_evals_attributed_to_host(self, service):
+        kw = dict(agents=("rw",), n_trials=1, n_samples=8, seed=3)
+        report = run_lottery_sweep(SvcCountingEnv, service_url=service.url, **kw)
+        (result,) = report.results["rw"]
+        assert result.remote_hosts == {service.url: result.remote_evals}
+        assert report.remote_evals_by_host == {service.url: report.remote_evals}
+        assert service.url in report.print_table()
 
     def test_server_cache_store_as_shared_tier(self, service):
         """`shared_cache=True` + `service_url` uses the service's /cache:
@@ -373,6 +658,24 @@ class TestFaultInjection:
             client.evaluate("SvcCounting-v0", {"x": 1, "m": "a"})
         with pytest.raises(ServiceError):
             client.cache_get("any-key")
+
+    @pytest.mark.parametrize(
+        "misbehaving_server", [_TornBodyHandler], indirect=True
+    )
+    def test_backoff_applies_after_parse_failures_too(
+        self, misbehaving_server, monkeypatch
+    ):
+        """A body that does not parse is retried *with* backoff — the
+        same discipline as a connection failure."""
+        sleeps = []
+        monkeypatch.setattr("repro.service.client.time.sleep", sleeps.append)
+        client = ServiceClient(
+            misbehaving_server, timeout_s=2.0, retries=2, backoff_s=0.01
+        )
+        with pytest.raises(ServiceTransportError, match="after 3 attempt"):
+            client.evaluate("SvcCounting-v0", {"x": 1, "m": "a"})
+        assert len(sleeps) == 2  # one backoff per retry
+        assert sleeps == [0.01, 0.02]
 
     @pytest.mark.parametrize("misbehaving_server", [_SlowHandler], indirect=True)
     def test_slow_response_hits_timeout_not_hang(self, misbehaving_server):

@@ -1,0 +1,129 @@
+"""Shared plumbing for the CLI integration checks
+(`check_service.py`, `check_multihost.py`).
+
+One copy of the serve-process lifecycle (spawn, banner parse, healthz
+poll) and of the export-row normalization the checks diff on — so the
+CI jobs cannot drift in what they zero before comparing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import select
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def check_env() -> dict:
+    """Subprocess environment with PYTHONPATH=src prepended."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def cli(*args: str) -> list:
+    return [sys.executable, "-m", "repro", *args]
+
+
+def spawn_server(*envs: str) -> subprocess.Popen:
+    """Launch `repro serve` on a free port, stdout piped for the banner."""
+    return subprocess.Popen(
+        cli("serve", "--envs", ",".join(envs), "--port", "0"),
+        env=check_env(), cwd=REPO_ROOT,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+
+
+def healthz(url: str, timeout: float = 5.0) -> dict:
+    with urllib.request.urlopen(url + "/healthz", timeout=timeout) as resp:
+        return json.loads(resp.read())
+
+
+def wait_for_url(proc: subprocess.Popen) -> str:
+    """Parse the bound URL from the serve banner, then poll healthz.
+
+    The banner read sits under the same deadline as the health poll —
+    a server that stalls before printing must fail the job in a
+    minute, not hang it until the CI-level timeout.
+    """
+    deadline = time.monotonic() + 60
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise RuntimeError("server never printed its startup banner")
+        if proc.poll() is not None:
+            raise RuntimeError("server exited before printing its banner")
+        ready, _, _ = select.select([proc.stdout], [], [], min(remaining, 0.5))
+        if ready:
+            break
+    line = proc.stdout.readline().strip()
+    if " at http://" not in line:
+        raise RuntimeError(f"unexpected serve banner: {line!r}")
+    url = line.rsplit(" at ", 1)[1]
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError("server exited before becoming healthy")
+        try:
+            if healthz(url, timeout=2.0).get("status") == "ok":
+                return url
+        except (urllib.error.URLError, OSError, ValueError):
+            time.sleep(0.05)
+    raise RuntimeError("server never answered /healthz")
+
+
+def normalized_rows(export_path: Path, expect_remote: bool) -> dict:
+    """Load an exported report with execution-dependent fields zeroed.
+
+    Remote runs must show remote participation on every trial, with
+    per-host ``remote_hosts`` provenance accounting for every remote
+    evaluation; in-process runs must show none. Everything else is
+    left intact for the bit-exact diff.
+    """
+    payload = json.loads(Path(export_path).read_text())
+    for row in payload["rows"]:
+        trial = f"{row['agent']}/{row['trial']}"
+        if expect_remote:
+            if row["remote_evals"] <= 0:
+                raise RuntimeError(
+                    f"trial {trial} reports zero remote evaluations — "
+                    "the sweep did not go through the service(s)"
+                )
+            if sum(row["remote_hosts"].values()) != row["remote_evals"]:
+                raise RuntimeError(
+                    f"trial {trial}: remote_hosts {row['remote_hosts']} "
+                    f"does not account for {row['remote_evals']} remote "
+                    "evaluations"
+                )
+        elif row["remote_evals"] != 0:
+            raise RuntimeError(
+                f"in-process trial {trial} reports remote evaluations"
+            )
+        row["wall_time_s"] = 0.0
+        row["sim_time_s"] = 0.0
+        row["remote_evals"] = 0
+        row["remote_hosts"] = {}
+    return payload
+
+
+def diff_reports(remote_payload: dict, clean_payload: dict, label: str) -> bool:
+    """Print a row-level diff; True when the payloads match."""
+    if remote_payload == clean_payload:
+        return True
+    print(f"FAIL: {label} report differs from the in-process run")
+    for i, (r, c) in enumerate(
+        zip(remote_payload["rows"], clean_payload["rows"])
+    ):
+        if r != c:
+            print(f"  row {i} {label}:    {json.dumps(r, sort_keys=True)}")
+            print(f"  row {i} in-process: {json.dumps(c, sort_keys=True)}")
+    return False

@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Multi-host sweep integration check (CI's `multihost` job).
+
+Drives the real CLI end to end, mirroring tools/check_service.py but
+over a two-host pool with a mid-sweep kill:
+
+1. launches **two** ``python -m repro serve`` processes and waits for
+   both to answer ``GET /healthz``;
+2. starts a seeded sweep spread over both hosts (two ``--service-url``
+   flags — least-load scheduling with failover) exporting its report;
+3. while the sweep runs, waits until host A has actually evaluated
+   design points, then **SIGKILLs** it — the real thing, not a
+   graceful shutdown;
+4. the sweep must complete on the surviving host: the run is diffed
+   against an identical in-process sweep (timing and remote-eval
+   provenance fields zeroed — everything else must match exactly,
+   proving no trial was lost, duplicated, or corrupted by failover);
+5. asserts the kill landed mid-sweep, that the survivor carried load
+   afterwards, and that per-trial ``remote_hosts`` provenance accounts
+   for every remote evaluation.
+
+Exit code 0 means a host died mid-sweep and nobody noticed in the
+results. Usage: ``python tools/check_multihost.py`` (repo root; sets
+PYTHONPATH=src for its children itself).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+from pathlib import Path
+from tempfile import mkdtemp
+
+from _check_common import (
+    REPO_ROOT,
+    check_env,
+    cli,
+    diff_reports,
+    healthz,
+    normalized_rows,
+    spawn_server,
+    wait_for_url,
+)
+
+SWEEP_ARGS = [
+    "sweep", "--env", "DRAMGym-v0", "--agents", "rw,ga",
+    "--trials", "2", "--samples", "80", "--seed", "11", "--workers", "1",
+]
+
+
+def main() -> int:
+    workdir = Path(mkdtemp(prefix="archgym-multihost-check-"))
+    multihost_export = workdir / "multihost.json"
+    clean_export = workdir / "clean.json"
+
+    # 1. two independent evaluation hosts
+    server_a = spawn_server("DRAMGym-v0")
+    server_b = spawn_server("DRAMGym-v0")
+    sweep = None
+    try:
+        url_a, url_b = wait_for_url(server_a), wait_for_url(server_b)
+        print(f"hosts healthy at {url_a} and {url_b}")
+
+        # 2. the sweep, spread over both hosts
+        sweep = subprocess.Popen(
+            cli(*SWEEP_ARGS,
+                "--service-url", url_a, "--service-url", url_b,
+                "--service-timeout", "15", "--service-retries", "1",
+                "--export", str(multihost_export)),
+            env=check_env(), cwd=REPO_ROOT, stdout=subprocess.DEVNULL,
+        )
+
+        # 3. wait until host A demonstrably served part of the sweep,
+        # then SIGKILL it mid-run
+        kill_deadline = time.monotonic() + 120
+        evals_a = 0
+        while time.monotonic() < kill_deadline:
+            if sweep.poll() is not None:
+                raise RuntimeError(
+                    "sweep finished before host A served any evaluations — "
+                    "raise --samples so the kill lands mid-run"
+                )
+            try:
+                evals_a = healthz(url_a, timeout=1.0)["evaluations"]
+            except (urllib.error.URLError, OSError, ValueError):
+                evals_a = 0
+            if evals_a >= 10:
+                break
+            time.sleep(0.01)
+        if evals_a < 10:
+            raise RuntimeError("host A never reached 10 evaluations")
+        os.kill(server_a.pid, signal.SIGKILL)
+        server_a.wait(timeout=30)
+        print(f"SIGKILLed host A after {evals_a} evaluations; sweep continues")
+
+        # 4. the sweep must survive on host B alone
+        returncode = sweep.wait(timeout=600)
+        if returncode != 0:
+            print(f"FAIL: multi-host sweep exited {returncode} after the kill")
+            return 1
+        health_b = healthz(url_b)
+        if health_b["evaluations"] <= 0:
+            print("FAIL: surviving host served zero evaluations")
+            return 1
+        print(
+            f"sweep survived the kill (host B served "
+            f"{health_b['evaluations']} evaluations)"
+        )
+    finally:
+        if sweep is not None and sweep.poll() is None:
+            sweep.kill()
+            sweep.wait(timeout=30)
+        for server in (server_a, server_b):
+            if server.poll() is None:
+                server.terminate()
+                server.wait(timeout=30)
+
+    # in-process reference run
+    subprocess.run(
+        cli(*SWEEP_ARGS, "--export", str(clean_export)),
+        env=check_env(), cwd=REPO_ROOT, check=True, stdout=subprocess.DEVNULL,
+        timeout=600,
+    )
+
+    # 5. diff (remote participation + provenance asserted during load)
+    multihost = normalized_rows(multihost_export, expect_remote=True)
+    clean = normalized_rows(clean_export, expect_remote=False)
+    if not diff_reports(multihost, clean, "multihost"):
+        return 1
+    print(
+        "OK: a host died mid-sweep and the report is still identical to "
+        "the in-process run"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

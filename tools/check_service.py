@@ -7,32 +7,43 @@ Drives the real CLI end to end, mirroring tools/check_resume.py:
    ``GET /healthz`` to answer;
 2. runs a seeded sweep through the service (``--service-url``) and
    exports the report;
-3. runs the identical sweep in-process into a second export;
-4. diffs the two reports — trial order, metrics, hyperparameters, and
+3. microbenchmarks the transport: the same 64 design points evaluated
+   per-point (64 × ``POST /evaluate`` on one keep-alive connection)
+   versus batched (one ``POST /evaluate_batch``) — the batch must use
+   ≥ 3× fewer round trips (it uses 64× fewer) and less wall-clock;
+4. runs the identical sweep in-process into a second export;
+5. diffs the two reports — trial order, metrics, hyperparameters, and
    cache counters must match exactly (timing fields and the
-   remote-evaluation counter, which legitimately differ, are zeroed);
-5. asserts the service run really did dispatch remotely (non-zero
+   remote-evaluation counters, which legitimately differ, are zeroed);
+6. asserts the service run really did dispatch remotely (non-zero
    ``remote_evals`` per trial, non-zero ``evaluations`` on healthz).
 
 Exit code 0 means the service-backed report is bit-identical to the
-in-process one. Usage: ``python tools/check_service.py`` (repo root;
-sets PYTHONPATH=src for its children itself).
+in-process one and batching beats per-point requests. Usage:
+``python tools/check_service.py`` (repo root; sets PYTHONPATH=src for
+its children itself).
 """
 
 from __future__ import annotations
 
-import json
-import os
-import select
 import subprocess
 import sys
 import time
-import urllib.error
-import urllib.request
 from pathlib import Path
 from tempfile import mkdtemp
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
+from _check_common import (
+    REPO_ROOT,
+    check_env,
+    cli,
+    diff_reports,
+    healthz,
+    normalized_rows,
+    spawn_server,
+    wait_for_url,
+)
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
 SWEEP_ARGS = [
     "sweep", "--env", "DRAMGym-v0", "--agents", "rw,ga",
@@ -40,75 +51,68 @@ SWEEP_ARGS = [
 ]
 
 
-def _env() -> dict:
-    env = dict(os.environ)
-    src = str(REPO_ROOT / "src")
-    env["PYTHONPATH"] = src + (
-        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+def _microbench(url: str, n_points: int = 64) -> None:
+    """Batched + keep-alive vs per-point requests over the same design
+    points; fails the job unless batching wins on round trips (≥ 3×
+    fewer) and wall-clock."""
+    import numpy as np
+
+    import repro
+    from repro.core.env import canonical_action_key
+    from repro.service import ServiceClient
+
+    env = repro.make("DRAMGym-v0")
+    rng = np.random.default_rng(0)
+    actions, seen = [], set()
+    while len(actions) < n_points:  # n_points *distinct* design points
+        action = env.action_space.sample(rng)
+        key = canonical_action_key(action)
+        if key not in seen:
+            seen.add(key)
+            actions.append(action)
+    env.close()
+
+    per_point = ServiceClient(url, timeout_s=30.0, retries=0)
+    batched = ServiceClient(url, timeout_s=30.0, retries=0)
+    per_point_s, batched_s = float("inf"), float("inf")
+    reps = 3  # best-of-3 per leg so one scheduler hiccup can't flake CI
+    for _ in range(reps):
+        start = time.perf_counter()
+        per_point_results = [
+            per_point.evaluate("DRAMGym-v0", action) for action in actions
+        ]
+        per_point_s = min(per_point_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        # memoize off: both legs must pay the full simulation cost
+        batched_results = batched.evaluate_batch(
+            "DRAMGym-v0", actions, memoize=False
+        )
+        batched_s = min(batched_s, time.perf_counter() - start)
+
+    if per_point.connections_opened != 1:
+        raise RuntimeError(
+            f"keep-alive broken: {reps * n_points} requests opened "
+            f"{per_point.connections_opened} connections"
+        )
+    if batched_results != per_point_results:
+        raise RuntimeError("batched metrics differ from per-point metrics")
+    rt_ratio = (per_point.requests_sent / reps) / (batched.requests_sent / reps)
+    print(
+        f"microbench ({n_points} points, best of {reps}): "
+        f"{per_point.requests_sent // reps} round trips / {per_point_s:.3f}s "
+        f"per-point vs {batched.requests_sent // reps} round trip(s) / "
+        f"{batched_s:.3f}s batched ({rt_ratio:.0f}x fewer round trips, "
+        f"{per_point_s / batched_s:.1f}x faster)"
     )
-    return env
-
-
-def _cli(*args: str) -> list[str]:
-    return [sys.executable, "-m", "repro", *args]
-
-
-def _wait_for_url(proc: subprocess.Popen) -> str:
-    """Parse the bound URL from the serve banner, then poll healthz.
-
-    The banner read sits under the same deadline as the health poll —
-    a server that stalls before printing must fail the job in a
-    minute, not hang it until the CI-level timeout.
-    """
-    deadline = time.monotonic() + 60
-    while True:
-        remaining = deadline - time.monotonic()
-        if remaining <= 0:
-            raise RuntimeError("server never printed its startup banner")
-        if proc.poll() is not None:
-            raise RuntimeError("server exited before printing its banner")
-        ready, _, _ = select.select([proc.stdout], [], [], min(remaining, 0.5))
-        if ready:
-            break
-    line = proc.stdout.readline().strip()
-    if " at http://" not in line:
-        raise RuntimeError(f"unexpected serve banner: {line!r}")
-    url = line.rsplit(" at ", 1)[1]
-    while time.monotonic() < deadline:
-        if proc.poll() is not None:
-            raise RuntimeError("server exited before becoming healthy")
-        try:
-            with urllib.request.urlopen(url + "/healthz", timeout=2) as resp:
-                health = json.loads(resp.read())
-            if health.get("status") == "ok":
-                return url
-        except (urllib.error.URLError, OSError, ValueError):
-            time.sleep(0.05)
-    raise RuntimeError("server never answered /healthz")
-
-
-def _healthz(url: str) -> dict:
-    with urllib.request.urlopen(url + "/healthz", timeout=5) as resp:
-        return json.loads(resp.read())
-
-
-def _normalized_rows(export_path: Path, expect_remote: bool) -> dict:
-    payload = json.loads(export_path.read_text())
-    for row in payload["rows"]:
-        if expect_remote and row["remote_evals"] <= 0:
-            raise RuntimeError(
-                f"trial {row['agent']}/{row['trial']} reports zero remote "
-                "evaluations — the sweep did not go through the service"
-            )
-        if not expect_remote and row["remote_evals"] != 0:
-            raise RuntimeError(
-                f"in-process trial {row['agent']}/{row['trial']} reports "
-                "remote evaluations"
-            )
-        row["wall_time_s"] = 0.0
-        row["sim_time_s"] = 0.0
-        row["remote_evals"] = 0
-    return payload
+    if rt_ratio < 3.0:
+        raise RuntimeError(
+            f"batching saved only {rt_ratio:.1f}x round trips (need >= 3x)"
+        )
+    if batched_s >= per_point_s:
+        raise RuntimeError(
+            f"batched evaluation ({batched_s:.3f}s) was not faster than "
+            f"per-point ({per_point_s:.3f}s)"
+        )
 
 
 def main() -> int:
@@ -117,47 +121,41 @@ def main() -> int:
     clean_export = workdir / "clean.json"
 
     # 1. launch the server on a free port
-    server = subprocess.Popen(
-        _cli("serve", "--envs", "DRAMGym-v0", "--port", "0"),
-        env=_env(), cwd=REPO_ROOT,
-        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
-    )
+    server = spawn_server("DRAMGym-v0")
     try:
-        url = _wait_for_url(server)
+        url = wait_for_url(server)
         print(f"server healthy at {url}")
 
         # 2. the same sweep, through the service
         subprocess.run(
-            _cli(*SWEEP_ARGS, "--service-url", url,
-                 "--export", str(service_export)),
-            env=_env(), cwd=REPO_ROOT, check=True, stdout=subprocess.DEVNULL,
-            timeout=600,
+            cli(*SWEEP_ARGS, "--service-url", url,
+                "--export", str(service_export)),
+            env=check_env(), cwd=REPO_ROOT, check=True,
+            stdout=subprocess.DEVNULL, timeout=600,
         )
-        evaluations = _healthz(url)["evaluations"]
+        evaluations = healthz(url)["evaluations"]
         if evaluations <= 0:
             print("FAIL: server reports zero evaluations after the sweep")
             return 1
         print(f"service sweep done ({evaluations} server-side evaluations)")
+
+        # 3. batched + keep-alive vs per-point microbenchmark
+        _microbench(url)
     finally:
         server.terminate()
         server.wait(timeout=30)
 
-    # 3. in-process reference run
+    # 4. in-process reference run
     subprocess.run(
-        _cli(*SWEEP_ARGS, "--export", str(clean_export)),
-        env=_env(), cwd=REPO_ROOT, check=True, stdout=subprocess.DEVNULL,
+        cli(*SWEEP_ARGS, "--export", str(clean_export)),
+        env=check_env(), cwd=REPO_ROOT, check=True, stdout=subprocess.DEVNULL,
         timeout=600,
     )
 
-    # 4./5. diff (remote participation already asserted during load)
-    remote = _normalized_rows(service_export, expect_remote=True)
-    clean = _normalized_rows(clean_export, expect_remote=False)
-    if remote != clean:
-        print("FAIL: service-backed report differs from the in-process run")
-        for i, (r, c) in enumerate(zip(remote["rows"], clean["rows"])):
-            if r != c:
-                print(f"  row {i} service:    {json.dumps(r, sort_keys=True)}")
-                print(f"  row {i} in-process: {json.dumps(c, sort_keys=True)}")
+    # 5./6. diff (remote participation already asserted during load)
+    remote = normalized_rows(service_export, expect_remote=True)
+    clean = normalized_rows(clean_export, expect_remote=False)
+    if not diff_reports(remote, clean, "service"):
         return 1
     print("OK: service-backed report is identical to the in-process run")
     return 0
