@@ -78,6 +78,20 @@ class ACOAgent(Agent):
                 indices[i] = int(self.rng.choice(len(trail), p=weights))
         return self.space.decode(indices)
 
+    def propose_batch(self) -> List[Dict[str, Any]]:
+        """The remainder of the current cohort, one design per ant.
+
+        Trails only move after a full cohort observes and
+        :meth:`observe` draws no randomness, so constructing the
+        remaining ants back to back consumes the RNG stream exactly as
+        the serial interleaving would — a batched run stays
+        byte-identical. ``observe_batch`` keeps the base-class
+        per-point loop: cohort accounting (and the trail update on the
+        cohort's last ant) already lives in :meth:`observe`.
+        """
+        remaining = self.n_ants - len(self._cohort)
+        return [self.propose() for _ in range(max(1, remaining))]
+
     # -- pheromone update -----------------------------------------------------------
 
     def observe(self, action: Mapping[str, Any], fitness: float,

@@ -14,13 +14,23 @@ signals (Q1–Q3 of Table 2):
 standard driver every experiment uses — it converts environment rewards
 into a maximize-me *fitness* (FARSI's distance-to-budget is
 lower-is-better), tracks the incumbent, and resets episodes.
+
+The protocol is *generation-native*: population-based agents (GA, ACO)
+propose whole generations at once through :meth:`Agent.propose_batch`
+and absorb the scored generation through :meth:`Agent.observe_batch`,
+so the driver can evaluate an entire generation in one
+:meth:`~repro.core.env.ArchGymEnv.step_batch` call — one round trip to
+a remote evaluation service instead of one per design point. The
+defaults are singleton wrappers over :meth:`Agent.propose` /
+:meth:`Agent.observe`, so every point-at-a-time agent participates
+unchanged, and a batched run is byte-identical to a serial one.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -29,6 +39,24 @@ from repro.core.errors import AgentError
 from repro.core.spaces import CompositeSpace
 
 __all__ = ["Agent", "SearchResult", "run_agent"]
+
+
+def _stable_value_fmt(value: Any, nested: bool = False) -> str:
+    """Order-insensitive rendering for hyperparameter values.
+
+    ``str(dict)`` follows insertion order, so equal dicts inserted in
+    different orders used to produce different provenance tags. Dicts
+    are therefore rendered with sorted keys; everything else keeps its
+    plain formatting (``str`` at the top level, ``repr`` inside a dict
+    — exactly what ``str(dict)`` itself would have produced).
+    """
+    if isinstance(value, dict):
+        items = ", ".join(
+            f"{k!r}: {_stable_value_fmt(v, nested=True)}"
+            for k, v in sorted(value.items())
+        )
+        return "{" + items + "}"
+    return repr(value) if nested else f"{value}"
 
 
 def _jsonify(value: Any) -> Any:
@@ -69,8 +97,17 @@ class Agent:
         return dict(self._hyperparams)
 
     def hyperparam_tag(self) -> str:
-        """A stable provenance string: ``name[k=v,...]``."""
-        inner = ",".join(f"{k}={v}" for k, v in sorted(self._hyperparams.items()))
+        """A stable provenance string: ``name[k=v,...]``.
+
+        Values are rendered canonically: dict-valued hyperparameters
+        are formatted with sorted keys (recursively), so two agents
+        built from equal dicts with different insertion orders carry
+        the same tag. Non-dict values keep plain ``str()`` formatting.
+        """
+        inner = ",".join(
+            f"{k}={_stable_value_fmt(v)}"
+            for k, v in sorted(self._hyperparams.items())
+        )
         return f"{self.name}[{inner}]"
 
     # -- the Q1/Q2 interface -------------------------------------------------------
@@ -87,6 +124,49 @@ class Agent:
         lower-is-better rewards before calling this.
         """
         raise NotImplementedError
+
+    # -- the batched (generation-native) Q1/Q2 interface ---------------------------
+
+    def propose_batch(self) -> List[Dict[str, Any]]:
+        """Propose the next *generation* of design points (Q1, batched).
+
+        Population-based agents override this to emit every not-yet
+        evaluated member of the current generation/cohort in one call,
+        which lets the driver evaluate them together (one HTTP round
+        trip on a remote backend instead of one per point). The
+        contract mirrors the serial interface exactly: the points come
+        back in the order :meth:`propose` would have produced them, a
+        driver may evaluate any *prefix* of the batch (sample budgets
+        truncate generations), and the matching
+        :meth:`observe_batch` call must carry that evaluated prefix in
+        order. Under that contract a batched run is byte-identical to
+        a serial one.
+
+        Default: a singleton — one :meth:`propose` — so every
+        point-at-a-time agent works under a generation-aware driver
+        unchanged.
+        """
+        return [self.propose()]
+
+    def observe_batch(
+        self,
+        actions: Sequence[Mapping[str, Any]],
+        fitnesses: Sequence[float],
+        metrics_list: Sequence[Mapping[str, float]],
+    ) -> None:
+        """Incorporate feedback for an evaluated generation prefix (Q2).
+
+        Default: :meth:`observe` per point, in order — byte-identical
+        to the serial loop for any agent.
+        """
+        if not (len(actions) == len(fitnesses) == len(metrics_list)):
+            raise AgentError(
+                "observe_batch() needs one fitness and one metrics dict "
+                f"per action, got {len(actions)}/{len(fitnesses)}/"
+                f"{len(metrics_list)}"
+            )
+        for action, fitness, metrics in zip(actions, fitnesses, metrics_list):
+            self.observe(action, fitness, metrics)
 
 
 @dataclass
@@ -185,6 +265,7 @@ def run_agent(
     n_samples: int,
     seed: Optional[int] = None,
     source_tag: Optional[str] = None,
+    generation_dispatch: bool = False,
 ) -> SearchResult:
     """Drive ``agent`` against ``env`` for ``n_samples`` evaluations.
 
@@ -192,6 +273,17 @@ def run_agent(
     for comparing algorithms (§6.2). If the environment has an attached
     dataset, its provenance tag is set to the agent's identity so that
     multi-agent datasets can later be sampled by source (§7.1).
+
+    With ``generation_dispatch=True`` the driver speaks the batched
+    protocol: :meth:`Agent.propose_batch` →
+    :meth:`ArchGymEnv.step_batch` → :meth:`Agent.observe_batch`, one
+    whole generation per round. Incumbent tracking, reward histories,
+    fitness conversion, and episode resets are applied per point in
+    proposal order, and a generation that overruns the remaining
+    sample budget is truncated to it — so the result (and any attached
+    dataset) is byte-identical to the serial loop, while a
+    population-based agent on a remote backend pays one HTTP round
+    trip per generation instead of one per design point.
     """
     if n_samples < 1:
         raise AgentError("n_samples must be >= 1")
@@ -219,12 +311,14 @@ def run_agent(
     reward_history: List[float] = []
     best_history: List[float] = []
 
-    for _ in range(n_samples):
-        action = agent.propose()
-        __, reward, terminated, truncated, info = env.step(action)
+    def absorb(action: Mapping[str, Any], reward: float,
+               info: Mapping[str, Any]) -> float:
+        """The per-point bookkeeping both driver loops share — one
+        copy, so the serial and batched paths cannot drift apart and
+        break the byte-parity guarantee. Returns the fitness."""
+        nonlocal best_fitness, best_action, best_reward, best_metrics
+        nonlocal target_met
         fitness = reward if higher else -reward
-        agent.observe(action, fitness, info["metrics"])
-
         reward_history.append(reward)
         if fitness > best_fitness:
             best_fitness = fitness
@@ -233,9 +327,45 @@ def run_agent(
             best_metrics = dict(info["metrics"])
         best_history.append(best_fitness)
         target_met = target_met or bool(info.get("target_met"))
+        return fitness
 
-        if terminated or truncated:
-            env.reset()
+    if generation_dispatch:
+        remaining = n_samples
+        while remaining > 0:
+            proposals = agent.propose_batch()
+            if not proposals:
+                raise AgentError(
+                    f"{agent.name}.propose_batch() returned no proposals"
+                )
+            # A generation larger than the remaining budget is cut to
+            # it — the serial loop would have stopped mid-generation at
+            # exactly this point.
+            proposals = proposals[:remaining]
+            step_results = env.step_batch(proposals)
+            fitnesses: List[float] = []
+            metrics_list: List[Dict[str, float]] = []
+            terminated = truncated = False
+            for action, step_result in zip(proposals, step_results):
+                __, reward, terminated, truncated, info = step_result
+                fitnesses.append(absorb(action, reward, info))
+                metrics_list.append(info["metrics"])
+            agent.observe_batch(proposals, fitnesses, metrics_list)
+            remaining -= len(proposals)
+
+            # step_batch resets mid-batch episode ends itself; a batch
+            # whose *final* point closed an episode leaves the reset to
+            # the driver, exactly like the serial loop below.
+            if terminated or truncated:
+                env.reset()
+    else:
+        for _ in range(n_samples):
+            action = agent.propose()
+            __, reward, terminated, truncated, info = env.step(action)
+            agent.observe(action, absorb(action, reward, info),
+                          info["metrics"])
+
+            if terminated or truncated:
+                env.reset()
 
     return SearchResult(
         agent=agent.name,

@@ -11,7 +11,7 @@ mutation, and elitism (Q3 knobs: ``mutation_rate``, ``crossover_rate``,
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping
+from typing import Any, Dict, List, Mapping, Sequence
 
 import numpy as np
 
@@ -125,3 +125,30 @@ class GAAgent(Agent):
             raise AgentError("observe() without matching propose()")
         self._fitness[self._cursor] = fitness
         self._cursor += 1
+
+    # -- generation-native interface ----------------------------------------------
+
+    def propose_batch(self) -> List[Dict[str, Any]]:
+        """The un-evaluated remainder of the current generation.
+
+        Breeding draws randomness only inside :meth:`_evolve` and
+        decoding draws none, so emitting the whole remainder at once
+        consumes the RNG stream exactly as the serial propose/observe
+        interleaving would — a batched run stays byte-identical.
+        """
+        if self._cursor >= self.population_size:
+            self._evolve()
+        return [self.space.decode(g) for g in self._genomes[self._cursor:]]
+
+    def observe_batch(self, actions: Sequence[Mapping[str, Any]],
+                      fitnesses: Sequence[float],
+                      metrics_list: Sequence[Mapping[str, float]]) -> None:
+        """Score an evaluated prefix of the proposed generation."""
+        if not (len(actions) == len(fitnesses) == len(metrics_list)):
+            raise AgentError("observe_batch arguments must align")
+        if self._cursor + len(fitnesses) > self.population_size:
+            raise AgentError("observe_batch() without matching propose_batch()")
+        if fitnesses:
+            end = self._cursor + len(fitnesses)
+            self._fitness[self._cursor:end] = fitnesses
+            self._cursor = end

@@ -27,15 +27,19 @@ atomic shard (killed runs keep their progress), ``--resume`` re-enters
 such a directory and runs only the missing trials, and
 ``--shared-cache`` adds a cross-process design-point cache under the
 out-dir so concurrent trials reuse each other's evaluations.
-``--service-url URL`` dispatches every cost-model call to a running
-``repro serve`` instance instead of evaluating in-process — results
-stay bit-identical (same seeds, same trial order); repeat the flag to
-spread one sweep over several hosts (least-load scheduling, automatic
-failover when a host dies). With ``--shared-cache`` the (first)
-service also hosts the shared design-point cache, so sweeps on
-different machines reuse each other's evaluations, and
-``--service-batch`` routes evaluations through the batched endpoint
-with server-side memoization.
+``--service-url URL[=WEIGHT]`` dispatches every cost-model call to a
+running ``repro serve`` instance instead of evaluating in-process —
+results stay bit-identical (same seeds, same trial order); repeat the
+flag to spread one sweep over several hosts (least-load scheduling,
+automatic failover when a host dies), with ``=WEIGHT`` declaring a
+host's relative capacity. With ``--shared-cache`` the (first) service
+also hosts the shared design-point cache, so sweeps on different
+machines reuse each other's evaluations (failing over to the next
+pool host if the cache host dies), ``--service-batch`` routes
+evaluations through the batched endpoint with server-side
+memoization, and ``--generation-dispatch`` lets population-based
+agents (GA/ACO) evaluate whole generations per round trip —
+scattered across the host pool by weight.
 """
 
 from __future__ import annotations
@@ -181,17 +185,29 @@ def _add_durability_args(parser: argparse.ArgumentParser) -> None:
                              "under --out-dir (or, with --service-url, "
                              "the service's /cache store)")
     parser.add_argument("--service-url", default=None, action="append",
+                        metavar="URL[=WEIGHT]",
                         help="dispatch cost-model evaluations to the "
                              "`repro serve` instance at this URL instead "
                              "of running them in-process (results stay "
                              "bit-identical); repeat the flag to spread "
                              "the sweep over several hosts with "
-                             "least-load scheduling and failover")
+                             "least-load scheduling and failover. Append "
+                             "=WEIGHT (default 1) to declare a host's "
+                             "relative capacity: a weight-2 host takes "
+                             "twice the load and twice the share of "
+                             "every scattered generation")
     parser.add_argument("--service-batch", action="store_true",
                         help="route service evaluations through "
                              "POST /evaluate_batch so the server "
                              "memoizes design points into its /cache "
                              "store (results stay bit-identical)")
+    parser.add_argument("--generation-dispatch", action="store_true",
+                        help="drive trials generation-natively: GA/ACO "
+                             "propose whole populations, cache hits are "
+                             "resolved per point, and the misses ride "
+                             "one batched backend call per generation — "
+                             "one HTTP round trip per host on a service "
+                             "pool (results stay byte-identical)")
     parser.add_argument("--service-timeout", type=float, default=None,
                         metavar="SECONDS",
                         help="per-attempt socket timeout for service "
@@ -258,6 +274,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         service_timeout_s=args.service_timeout,
         service_retries=args.service_retries,
         service_batch=args.service_batch,
+        generation_dispatch=args.generation_dispatch,
     )
     print(report.print_table(boxplots=args.boxplots))
     if args.export:
@@ -295,6 +312,7 @@ def _cmd_collect(args: argparse.Namespace) -> int:
             collect=True, cache=False if args.no_cache else None,
             shared_cache_dir=shared_cache_dir,
             backend=backend, server_cache_url=server_cache_url,
+            generation_dispatch=args.generation_dispatch,
         )
         for i, name in enumerate(agents)
     ]

@@ -37,9 +37,9 @@ import json
 import os
 import threading
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.errors import CacheStoreError
+from repro.core.errors import CacheStoreError, ServiceTransportError
 
 __all__ = ["SharedCacheStore", "ServerCacheStore", "encode_key"]
 
@@ -263,17 +263,27 @@ class ServerCacheStore:
         Base URL of a running service, or an existing
         :class:`repro.service.ServiceClient` to reuse its
         retry/timeout policy.
+    fallbacks:
+        Base URLs of further pool hosts to re-bind to — in order —
+        when the current cache host's *transport* dies (connection
+        refused/reset, timeout, torn body, each after the client's own
+        retry policy). The failed operation is transparently re-run on
+        the next host, so a sweep keeps its shared tier (the new
+        host's ``/cache`` map, plus this process's local memo) instead
+        of failing. Deterministic server errors are not failover
+        events and propagate immediately.
     client_kwargs:
         ``timeout_s`` / ``retries`` / ``backoff_s`` when ``service`` is
-        a URL.
+        a URL. Fallback clients inherit the active client's policy.
 
-    Errors surface as :class:`~repro.core.errors.ServiceError` (an
-    unreachable cache server fails the sweep loudly rather than
-    silently degrading into re-simulation — point at the right URL or
-    drop the shared tier).
+    Errors surface as :class:`~repro.core.errors.ServiceError` — once
+    the fallback chain is exhausted, an unreachable cache fails the
+    sweep loudly rather than silently degrading into re-simulation.
     """
 
-    def __init__(self, service: Any, **client_kwargs: Any) -> None:
+    def __init__(
+        self, service: Any, fallbacks: Sequence[str] = (), **client_kwargs: Any
+    ) -> None:
         # Imported lazily: core must stay importable without the
         # service package participating in any cycle.
         from repro.service.client import ServiceClient
@@ -288,7 +298,36 @@ class ServerCacheStore:
             self._client = service
         else:
             self._client = ServiceClient(str(service), **client_kwargs)
+        self._fallbacks: List[str] = [
+            url for url in fallbacks
+            if url.rstrip("/") != self._client.base_url
+        ]
         self._local: Dict[str, Dict[str, float]] = {}
+
+    def _advance(self) -> bool:
+        """Re-bind to the next fallback host; False when none remain."""
+        from repro.service.client import ServiceClient
+
+        if not self._fallbacks:
+            return False
+        old = self._client
+        self._client = ServiceClient(
+            self._fallbacks.pop(0),
+            timeout_s=old.timeout_s,
+            retries=old.retries,
+            backoff_s=old.backoff_s,
+            backoff_cap_s=old.backoff_cap_s,
+        )
+        return True
+
+    def _call(self, op: str, *args: Any) -> Any:
+        """One cache operation, failing over on transport death."""
+        while True:
+            try:
+                return getattr(self._client, op)(*args)
+            except ServiceTransportError:
+                if not self._advance():
+                    raise
 
     def get(self, key: ActionKey) -> Optional[Dict[str, float]]:
         """Metrics for ``key``, or ``None`` (asks the server on a local
@@ -296,7 +335,7 @@ class ServerCacheStore:
         key_str = encode_key(key)
         found = self._local.get(key_str)
         if found is None:
-            found = self._client.cache_get(key_str)
+            found = self._call("cache_get", key_str)
             if found is not None:
                 self._local[key_str] = found
         return dict(found) if found is not None else None
@@ -309,12 +348,12 @@ class ServerCacheStore:
         clean = {k: float(v) for k, v in metrics.items()}
         if self._local.get(key_str) == clean:
             return
-        self._client.cache_put(key_str, clean)
+        self._call("cache_put", key_str, clean)
         self._local[key_str] = clean
 
     def __len__(self) -> int:
         """Distinct keys currently held by the server."""
-        return self._client.cache_size()
+        return self._call("cache_size")
 
     def __repr__(self) -> str:
         return f"ServerCacheStore(url={self._client.base_url!r})"

@@ -33,7 +33,16 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -204,6 +213,35 @@ class ArchGymEnv:
             by_host = self.stats.remote_evals_by_host
             by_host[host] = by_host.get(host, 0) + 1
         return metrics
+
+    def _dispatch_evaluate_batch(
+        self, actions: Sequence[Mapping[str, Any]]
+    ) -> List[Dict[str, float]]:
+        """Many cost-model runs, batched through the backend when it
+        supports batching (``evaluate_batch(env_id, actions)``).
+
+        Counter parity with the serial path: ``remote_evals`` counts
+        one per design point either way, and per-host attribution uses
+        the backend's per-point ``last_hosts`` when it reports one (a
+        pool that scattered the batch over several hosts), falling
+        back to charging the whole batch to ``last_host``.
+        """
+        if self._backend is None:
+            return [self.evaluate(action) for action in actions]
+        batch_fn = getattr(self._backend, "evaluate_batch", None)
+        if batch_fn is None:
+            return [self._dispatch_evaluate(action) for action in actions]
+        metrics_list = batch_fn(self.env_id, list(actions))
+        self.stats.remote_evals += len(actions)
+        hosts = getattr(self._backend, "last_hosts", None)
+        if hosts is None:
+            host = getattr(self._backend, "last_host", None)
+            hosts = [host] * len(actions)
+        by_host = self.stats.remote_evals_by_host
+        for host in hosts:
+            if host is not None:
+                by_host[host] = by_host.get(host, 0) + 1
+        return metrics_list
 
     # -- evaluation cache ---------------------------------------------------------
 
@@ -395,6 +433,182 @@ class ArchGymEnv:
             )
 
         return observation, float(reward), terminated, truncated, info
+
+    def step_batch(
+        self, actions: Sequence[Mapping[str, Any]]
+    ) -> List[StepResult]:
+        """Evaluate a whole generation of design points in one call.
+
+        Semantically this is ``[step(a) for a in actions]`` — same
+        rewards, cache counters, episode accounting, dataset rows, and
+        step numbering, byte for byte — except that the design points
+        no cache tier can answer are sent through the backend's
+        ``evaluate_batch`` hook *together*: one HTTP round trip per
+        generation on a remote service (and one scatter over a host
+        pool) instead of one per point.
+
+        The batch is processed in proposal order in two passes. The
+        *decision* pass classifies every point exactly as the serial
+        loop would — consulting the local LRU (simulated forward so
+        in-batch duplicates and evictions resolve identically) and the
+        shared tier — and collects the misses. After one batched
+        dispatch of the misses, the *replay* pass applies the serial
+        per-point bookkeeping in order: counters, LRU insertion and
+        eviction, shared-cache population, reward computation, episode
+        accounting, and dataset logging. A mid-batch episode end is
+        auto-reset (what the serial driver does between steps); an
+        episode end on the final point leaves ``_needs_reset`` set for
+        the caller, exactly like :meth:`step`.
+        """
+        if self._needs_reset:
+            raise EnvironmentError_("call reset() before step_batch()")
+        actions = list(actions)
+        if not actions:
+            return []
+        for action in actions:
+            try:
+                self.action_space.validate(action)
+            except Exception as exc:
+                raise InvalidActionError(str(exc)) from exc
+
+        caching = self._eval_cache is not None or self._shared_cache is not None
+        keys: List[Optional[ActionKey]] = [
+            canonical_action_key(action) if caching else None
+            for action in actions
+        ]
+
+        # -- decision pass: classify every point as the serial loop would.
+        # ``sim`` shadows the local LRU's key set (values irrelevant) so
+        # in-batch duplicates — and duplicates evicted again by a batch
+        # larger than the LRU — resolve exactly as they would serially.
+        plan: List[Tuple[str, Any]] = []
+        miss_actions: List[Mapping[str, Any]] = []
+        sim: "Optional[OrderedDict[ActionKey, None]]" = (
+            OrderedDict((k, None) for k in self._eval_cache)
+            if self._eval_cache is not None
+            else None
+        )
+        pending: Dict[ActionKey, int] = {}  # in-batch miss -> its index
+        shared_seen: Dict[ActionKey, Dict[str, float]] = {}
+
+        def sim_remember(key: ActionKey) -> None:
+            if sim is None:
+                return
+            sim[key] = None
+            sim.move_to_end(key)
+            while len(sim) > self._eval_cache_maxsize:
+                sim.popitem(last=False)
+
+        for action, key in zip(actions, keys):
+            if sim is not None and key in sim:
+                sim.move_to_end(key)
+                plan.append(("local", key))
+                continue
+            if key is not None and key in pending and self._shared_cache is not None:
+                # An earlier in-batch miss already evaluated (and will
+                # shared-put) this point; with the local LRU disabled or
+                # having evicted it, the serial lookup finds it in the
+                # shared tier.
+                plan.append(("shared-dup", pending[key]))
+                sim_remember(key)
+                continue
+            if key is not None and self._shared_cache is not None:
+                found = shared_seen.get(key)
+                if found is None:
+                    found = self._shared_cache.get(key)
+                if found is not None:
+                    shared_seen[key] = found
+                    plan.append(("shared", key))
+                    sim_remember(key)
+                    continue
+            index = len(miss_actions)
+            miss_actions.append(action)
+            plan.append(("miss", index))
+            if key is not None:
+                pending[key] = index
+                sim_remember(key)
+
+        # -- one batched dispatch for every miss
+        miss_metrics: List[Dict[str, float]] = []
+        if miss_actions:
+            start = time.perf_counter()
+            miss_metrics = self._dispatch_evaluate_batch(miss_actions)
+            self.stats.total_sim_time += time.perf_counter() - start
+            for metrics in miss_metrics:
+                missing = [m for m in self.observation_metrics if m not in metrics]
+                if missing:
+                    raise EnvironmentError_(
+                        f"cost model did not report metrics {missing}; "
+                        f"got {sorted(metrics)}"
+                    )
+
+        # -- replay pass: the serial per-point bookkeeping, in order
+        results: List[StepResult] = []
+        for action, key, (tag, ref) in zip(actions, keys, plan):
+            if self._needs_reset:
+                # A mid-batch episode end: the serial driver resets
+                # between steps, so the batch path does too.
+                self.reset()
+            if tag == "local":
+                # By replay time the real LRU holds the key: it either
+                # pre-dated the batch or was remembered by an earlier
+                # miss/shared hit replayed above.
+                cached = self._eval_cache[ref]
+                self.stats.cache_hits += 1
+                self._eval_cache.move_to_end(ref)
+                metrics = dict(cached)
+            elif tag == "shared":
+                self.stats.shared_cache_hits += 1
+                metrics = dict(shared_seen[ref])
+                self._remember_local(ref, metrics)
+            elif tag == "shared-dup":
+                self.stats.shared_cache_hits += 1
+                metrics = {k: float(v) for k, v in miss_metrics[ref].items()}
+                self._remember_local(key, metrics)
+            else:  # miss
+                metrics = miss_metrics[ref]
+                if key is not None:
+                    self.stats.cache_misses += 1
+                    clean = {k: float(v) for k, v in metrics.items()}
+                    self._remember_local(key, clean)
+                    if self._shared_cache is not None:
+                        self._shared_cache.put(key, clean)
+
+            reward = self.reward_spec.compute(metrics)
+            observation = np.array(
+                [metrics[m] for m in self.observation_metrics], dtype=np.float64
+            )
+
+            self._steps_in_episode += 1
+            self.stats.total_steps += 1
+
+            target_met = self.reward_spec.meets_target(metrics)
+            terminated = bool(self.terminate_on_target and target_met)
+            truncated = self._steps_in_episode >= self.episode_length
+            if terminated or truncated:
+                self._needs_reset = True
+
+            info: Dict[str, Any] = {
+                "metrics": dict(metrics),
+                "target_met": target_met,
+                "step": self._steps_in_episode,
+            }
+
+            if self.dataset is not None:
+                self.dataset.append(
+                    Transition(
+                        action=dict(action),
+                        metrics={k: float(v) for k, v in metrics.items()},
+                        reward=float(reward),
+                        source=self._source_tag,
+                        step=self.stats.total_steps,
+                    )
+                )
+
+            results.append(
+                (observation, float(reward), terminated, truncated, info)
+            )
+        return results
 
     # -- convenience ------------------------------------------------------------------
 

@@ -50,6 +50,11 @@ class RemoteBackend:
         Route dispatches through ``POST /evaluate_batch`` (server-side
         memoization feeding the service ``/cache`` store) instead of
         per-point ``POST /evaluate``.
+    weights:
+        Per-host capacity weights aligned with ``service`` when it is
+        a sequence of URLs — forwarded to the
+        :class:`~repro.sweeps.hostpool.HostPool` so least-load
+        dispatch and generation scatter divide work accordingly.
     client_kwargs:
         ``timeout_s`` / ``retries`` / ``backoff_s`` when ``service`` is
         a URL or a sequence of URLs.
@@ -60,6 +65,7 @@ class RemoteBackend:
         service: Union[str, Sequence[str], ServiceClient, Any],
         env_kwargs: Optional[Dict[str, Any]] = None,
         batch: bool = False,
+        weights: Optional[Sequence[float]] = None,
         **client_kwargs: Any,
     ) -> None:
         if isinstance(service, str):
@@ -73,11 +79,15 @@ class RemoteBackend:
                 # without pulling in the whole sweeps package.
                 from repro.sweeps.hostpool import HostPool
 
-                self.client = HostPool(urls, **client_kwargs)
+                self.client = HostPool(urls, weights=weights, **client_kwargs)
         else:  # a ready-made ServiceClient or HostPool: policy is theirs
             self.client = service
         self.env_kwargs = dict(env_kwargs) if env_kwargs else None
         self.batch = batch
+        #: Per-point host provenance of the most recent
+        #: :meth:`evaluate_batch` — what a scattering pool reports, and
+        #: what :meth:`ArchGymEnv._dispatch_evaluate_batch` records.
+        self.last_hosts: Optional[list] = None
 
     @property
     def last_host(self) -> Optional[str]:
@@ -97,10 +107,34 @@ class RemoteBackend:
     def evaluate_batch(
         self, env_name: str, actions: Sequence[Dict[str, Any]]
     ) -> list:
-        """Evaluate many design points in one round trip."""
-        return self.client.evaluate_batch(
-            env_name, list(actions), env_kwargs=self.env_kwargs
+        """Evaluate many design points in one round trip per host.
+
+        A multi-host pool scatters the batch over its living hosts by
+        capacity weight (parallel chunks, results reassembled in
+        request order); a single client sends one round trip. Either
+        way ``last_hosts`` afterwards names, per point, the host that
+        answered it. Server-side memoization stays opt-in: it is
+        requested only when this backend was built with ``batch=True``
+        (the ``--service-batch`` contract), so generation dispatch
+        alone never grows a server's memo map.
+        """
+        actions = list(actions)
+        scatter = getattr(self.client, "evaluate_batch_scatter", None)
+        if scatter is not None:
+            metrics, hosts = scatter(
+                env_name, actions, env_kwargs=self.env_kwargs,
+                memoize=self.batch,
+            )
+            self.last_hosts = hosts
+            return metrics
+        metrics = self.client.evaluate_batch(
+            env_name, actions, env_kwargs=self.env_kwargs,
+            memoize=self.batch,
         )
+        self.last_hosts = (
+            [getattr(self.client, "base_url", None)] * len(actions)
+        )
+        return metrics
 
     def __repr__(self) -> str:
         target = getattr(self.client, "base_url", None) or getattr(

@@ -6,9 +6,10 @@ from repro.sweeps.executor import (
     TrialTask,
     clear_backend_cache,
     execute_trials,
+    parse_weighted_url,
     resolve_execution_backend,
 )
-from repro.sweeps.hostpool import HostPool
+from repro.sweeps.hostpool import HostPool, weighted_split
 from repro.sweeps.export import (
     load_report_json,
     report_to_rows,
@@ -42,7 +43,9 @@ __all__ = [
     "TrialOutcome",
     "clear_backend_cache",
     "execute_trials",
+    "parse_weighted_url",
     "resolve_execution_backend",
+    "weighted_split",
     "load_report_json",
     "report_to_rows",
     "save_report_csv",

@@ -18,6 +18,7 @@ worker count yields bit-identical results.
 from __future__ import annotations
 
 import json
+import math
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -37,8 +38,38 @@ __all__ = [
     "TrialOutcome",
     "clear_backend_cache",
     "execute_trials",
+    "parse_weighted_url",
     "resolve_execution_backend",
 ]
+
+
+def parse_weighted_url(spec: str) -> Tuple[str, float]:
+    """Split one ``URL`` / ``URL=WEIGHT`` service spec.
+
+    ``--service-url http://h:8023=2`` declares host ``h:8023`` with
+    capacity weight 2 (twice the concurrent load and twice the share
+    of every scattered generation); a bare URL weighs 1. The text
+    after the last ``=`` must be a positive finite number — anything
+    else is rejected with a clear error rather than silently becoming
+    part of the URL. (A URL that itself contains ``=`` can always be
+    passed as ``URL=1``.)
+    """
+    url, sep, tail = spec.rpartition("=")
+    if not sep:
+        return spec, 1.0
+    try:
+        weight = float(tail)
+    except ValueError:
+        raise ExecutorError(
+            f"malformed service url weight in {spec!r}: expected "
+            f"URL=WEIGHT with a positive number, got {tail!r}"
+        ) from None
+    if not math.isfinite(weight) or weight <= 0:
+        raise ExecutorError(
+            f"service url weight in {spec!r} must be positive and "
+            f"finite, got {tail!r}"
+        )
+    return url, weight
 
 EnvFactory = Callable[[], ArchGymEnv]
 
@@ -74,6 +105,9 @@ class BackendSpec:
     service_urls: Optional[Tuple[str, ...]] = None
     #: Dispatch through ``/evaluate_batch`` instead of ``/evaluate``.
     batch: bool = False
+    #: Per-host capacity weights aligned with ``service_urls``
+    #: (``None`` = all hosts weigh 1).
+    service_weights: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("local", "remote"):
@@ -84,8 +118,21 @@ class BackendSpec:
             self.service_urls, tuple
         ):  # normalize lists so the spec stays hash/pickle-stable
             object.__setattr__(self, "service_urls", tuple(self.service_urls))
+        if self.service_weights is not None and not isinstance(
+            self.service_weights, tuple
+        ):
+            object.__setattr__(
+                self, "service_weights", tuple(self.service_weights)
+            )
         if self.kind == "remote" and not (self.service_url or self.service_urls):
             raise ExecutorError("remote backend requires a service_url")
+        if self.service_weights is not None and len(self.service_weights) != len(
+            self.urls
+        ):
+            raise ExecutorError(
+                f"backend spec has {len(self.urls)} url(s) but "
+                f"{len(self.service_weights)} weight(s)"
+            )
 
     @property
     def urls(self) -> Tuple[str, ...]:
@@ -105,6 +152,9 @@ class BackendSpec:
             urls[0] if len(urls) == 1 else list(urls),
             env_kwargs=self.env_kwargs,
             batch=self.batch,
+            weights=(
+                list(self.service_weights) if self.service_weights else None
+            ),
             timeout_s=self.timeout_s,
             retries=self.retries,
         )
@@ -128,6 +178,7 @@ def _backend_cache_key(spec: BackendSpec) -> Tuple[Any, ...]:
         spec.kind,
         spec.service_url,
         spec.service_urls,
+        spec.service_weights,
         json.dumps(spec.env_kwargs, sort_keys=True, default=str)
         if spec.env_kwargs
         else None,
@@ -180,22 +231,36 @@ def resolve_execution_backend(
     One derivation shared by :func:`repro.sweeps.runner.run_lottery_sweep`
     and the CLI's ``collect`` so the precedence rules cannot drift:
     ``service_url`` — one URL or a sequence of them (repeated
-    ``--service-url`` flags become a multi-host :class:`HostPool`) —
-    yields a remote :class:`BackendSpec` (with any
-    ``timeout_s``/``retries`` overrides; ``None`` keeps the spec
-    defaults, ``batch`` routes through ``/evaluate_batch``);
-    ``shared_cache`` prefers the service's ``/cache`` store
-    (cross-machine; the *first* host's, so every trial reads one map)
-    over a file store under ``out_dir``.
+    ``--service-url`` flags become a multi-host :class:`HostPool`),
+    each optionally carrying a capacity weight as ``URL=WEIGHT``
+    (default 1; see :func:`parse_weighted_url`) — yields a remote
+    :class:`BackendSpec` (with any ``timeout_s``/``retries``
+    overrides; ``None`` keeps the spec defaults, ``batch`` routes
+    through ``/evaluate_batch``); ``shared_cache`` prefers the
+    service's ``/cache`` store (cross-machine; the *first* host's, so
+    every trial reads one map) over a file store under ``out_dir``.
     """
     urls: Optional[Tuple[str, ...]] = None
+    weights: Optional[Tuple[float, ...]] = None
     if service_url is not None:
-        if isinstance(service_url, str):
-            urls = (service_url,)
-        else:
-            urls = tuple(dict.fromkeys(service_url))  # dedupe, keep order
-        if not urls:
-            urls = None
+        specs = (
+            (service_url,) if isinstance(service_url, str) else tuple(service_url)
+        )
+        by_url: Dict[str, float] = {}
+        for spec in specs:
+            url, weight = parse_weighted_url(spec)
+            if url in by_url:  # dedupe, keep order — weights must agree
+                if by_url[url] != weight:
+                    raise ExecutorError(
+                        f"conflicting weights for service url {url!r}: "
+                        f"{by_url[url]} vs {weight}"
+                    )
+                continue
+            by_url[url] = weight
+        if by_url:
+            urls = tuple(by_url)
+            if any(w != 1.0 for w in by_url.values()):
+                weights = tuple(by_url.values())
     if batch and urls is None:
         raise ExecutorError(
             "batch evaluation (--service-batch / service_batch=True) "
@@ -213,6 +278,7 @@ def resolve_execution_backend(
             kind="remote",
             service_url=urls[0],
             service_urls=urls,
+            service_weights=weights,
             env_kwargs=env_kwargs,
             batch=batch,
             **overrides,
@@ -261,6 +327,13 @@ class TrialTask:
     #: the cross-*machine* sibling of ``shared_cache_dir``, which
     #: takes precedence if both are set.
     server_cache_url: Optional[str] = None
+    #: Drive the trial through the generation-native protocol
+    #: (``propose_batch``/``step_batch``/``observe_batch``): whole
+    #: GA/ACO generations per backend round trip instead of one design
+    #: point each. A wall-clock knob like ``workers`` — results are
+    #: byte-identical — so it does not participate in the durable-sweep
+    #: fingerprint.
+    generation_dispatch: bool = False
 
     @property
     def source(self) -> str:
@@ -312,16 +385,27 @@ def run_trial(task: TrialTask) -> TrialOutcome:
             # task's retry/timeout policy) when the cache lives on the
             # same single service; a multi-host pool — or a task with
             # no remote backend — gets a dedicated client pointed at
-            # the designated cache host, under the task's policy.
+            # the designated cache host, under the task's policy. The
+            # pool's other hosts become the store's failover chain: if
+            # the cache host's transport dies mid-sweep, the shared
+            # tier moves to the next living pool host instead of
+            # failing the trial.
             cache_url = task.server_cache_url.rstrip("/")
+            fallbacks = tuple(
+                url for url in (task.backend.urls if task.backend else ())
+                if url.rstrip("/") != cache_url
+            )
             if (
                 remote is not None
                 and getattr(remote.client, "base_url", None) == cache_url
             ):
-                env.attach_shared_cache(ServerCacheStore(remote.client))
+                env.attach_shared_cache(
+                    ServerCacheStore(remote.client, fallbacks=fallbacks)
+                )
             elif task.backend is not None:
                 env.attach_shared_cache(ServerCacheStore(
                     cache_url,
+                    fallbacks=fallbacks,
                     timeout_s=task.backend.timeout_s,
                     retries=task.backend.retries,
                 ))
@@ -341,6 +425,7 @@ def run_trial(task: TrialTask) -> TrialOutcome:
                 n_samples=task.n_samples,
                 seed=task.run_seed,
                 source_tag=task.source if task.collect else None,
+                generation_dispatch=task.generation_dispatch,
             )
         except ServiceError as exc:
             # Identify the failing trial: under a process pool, the bare

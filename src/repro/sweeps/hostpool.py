@@ -7,8 +7,16 @@ ceiling of a sweep. One ``repro serve`` host saturates at one
 simulator's speed; :class:`HostPool` points a sweep at N of them:
 
 - **Least-load dispatch.** Every call picks the healthy host with the
-  fewest in-flight requests (ties broken by position in the URL list),
-  so slow hosts shed load to fast ones automatically.
+  fewest in-flight requests *per unit of capacity weight* (ties rotate
+  round-robin), so slow hosts shed load to fast ones automatically and
+  a host declared twice as big carries twice the concurrent load.
+- **Generation scatter.** :meth:`HostPool.evaluate_batch_scatter`
+  splits one batch of design points across all living hosts in
+  weight-proportional contiguous chunks, dispatches the chunks in
+  parallel, and reassembles the results in request order with
+  per-point host provenance — the transport under generation-native
+  agents (GA/ACO populations), which turns N per-point round trips
+  into one per host.
 - **Health and failover.** A host whose transport fails (connection
   refused/reset, timeout, torn body — after the client's own retry
   policy) is *quarantined* and the call fails over to a surviving
@@ -34,26 +42,48 @@ knowing which it holds.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.errors import ServiceError, ServiceTransportError
 from repro.service.client import ServiceClient
 
-__all__ = ["HostPool"]
+__all__ = ["HostPool", "weighted_split"]
+
+
+def weighted_split(n: int, weights: Sequence[float]) -> List[int]:
+    """Apportion ``n`` items over ``weights`` proportionally.
+
+    Largest-remainder rounding (ties to the earlier position), so the
+    counts always sum to ``n`` and the split is deterministic for a
+    given weight vector.
+    """
+    if not weights:
+        raise ServiceError("weighted_split needs at least one weight")
+    total = float(sum(weights))
+    raw = [n * w / total for w in weights]
+    counts = [int(r) for r in raw]
+    order = sorted(
+        range(len(weights)), key=lambda i: (-(raw[i] - counts[i]), i)
+    )
+    for i in order[: n - sum(counts)]:
+        counts[i] += 1
+    return counts
 
 
 class _Host:
     """One evaluation service inside the pool."""
 
     __slots__ = (
-        "url", "client", "probe_client", "alive", "inflight", "evals",
-        "last_error", "quarantined_at",
+        "url", "client", "probe_client", "weight", "alive", "inflight",
+        "evals", "last_error", "quarantined_at",
     )
 
     def __init__(
-        self, url: str, client: ServiceClient, probe_client: ServiceClient
+        self, url: str, client: ServiceClient, probe_client: ServiceClient,
+        weight: float = 1.0,
     ) -> None:
         self.url = client.base_url
         self.client = client
@@ -61,6 +91,10 @@ class _Host:
         #: quarantined host — a probe of a still-dead host must cost
         #: seconds, not the full evaluation timeout × retries.
         self.probe_client = probe_client
+        #: Relative capacity: a weight-2 host takes twice the
+        #: concurrent load (least-load compares inflight/weight) and
+        #: twice the share of a scattered generation.
+        self.weight = weight
         self.alive = True
         self.inflight = 0
         self.evals = 0  # design points this host answered
@@ -69,7 +103,10 @@ class _Host:
 
     def __repr__(self) -> str:
         state = "alive" if self.alive else f"quarantined ({self.last_error})"
-        return f"_Host({self.url!r}, {state}, inflight={self.inflight})"
+        return (
+            f"_Host({self.url!r}, {state}, weight={self.weight}, "
+            f"inflight={self.inflight})"
+        )
 
 
 class HostPool:
@@ -81,6 +118,13 @@ class HostPool:
         Base URLs of running evaluation services. Duplicates are
         collapsed (one host, one health state). Order is the tie-break
         for least-load dispatch.
+    weights:
+        Per-host capacity weights aligned with ``urls`` (``None`` =
+        all 1.0). A weight-W host carries W× the concurrent load under
+        least-load dispatch (load is counted as ``inflight / weight``)
+        and receives a W-proportional share of every scattered batch.
+        Weights must be positive and finite; duplicate URLs must agree
+        on their weight.
     timeout_s, retries, backoff_s:
         Per-host :class:`ServiceClient` policy — each host gets its own
         client (and with it its own keep-alive connections).
@@ -104,29 +148,49 @@ class HostPool:
         retries: int = 2,
         backoff_s: float = 0.05,
         revive_after_s: Optional[float] = 30.0,
+        weights: Optional[Sequence[float]] = None,
     ) -> None:
         if isinstance(urls, str):  # a lone URL is a 1-host pool
             urls = (urls,)
         if not urls:
             raise ServiceError("HostPool needs at least one service url")
+        if weights is None:
+            weights = [1.0] * len(urls)
+        if len(weights) != len(urls):
+            raise ServiceError(
+                f"HostPool got {len(urls)} url(s) but {len(weights)} "
+                "weight(s); pass one weight per url (or None for all-1)"
+            )
+        for url, weight in zip(urls, weights):
+            if not (isinstance(weight, (int, float))
+                    and math.isfinite(weight) and weight > 0):
+                raise ServiceError(
+                    f"host weight for {url!r} must be a positive finite "
+                    f"number, got {weight!r}"
+                )
         # Dedupe on the client-normalized base URL, not the raw string:
         # 'http://h:1' and 'http://h:1/' are one server, and two _Host
         # entries for it would split its quarantine state and double
         # its share of least-load dispatch.
         self._hosts: List[_Host] = []
-        seen = set()
-        for url in urls:
+        seen: Dict[str, float] = {}
+        for url, weight in zip(urls, weights):
             client = ServiceClient(
                 url, timeout_s=timeout_s, retries=retries, backoff_s=backoff_s,
             )
             if client.base_url in seen:
+                if seen[client.base_url] != float(weight):
+                    raise ServiceError(
+                        f"conflicting weights for host {client.base_url!r}: "
+                        f"{seen[client.base_url]} vs {weight}"
+                    )
                 continue
-            seen.add(client.base_url)
+            seen[client.base_url] = float(weight)
             probe = ServiceClient(
                 url, timeout_s=min(timeout_s, 2.0), retries=0,
                 backoff_s=backoff_s,
             )
-            self._hosts.append(_Host(url, client, probe))
+            self._hosts.append(_Host(url, client, probe, weight=float(weight)))
         self.revive_after_s = revive_after_s
         self._lock = threading.Lock()
         self._local = threading.local()
@@ -153,6 +217,11 @@ class HostPool:
         """Design points answered per host (successful calls only)."""
         with self._lock:
             return {h.url: h.evals for h in self._hosts if h.evals}
+
+    @property
+    def weights_by_host(self) -> Dict[str, float]:
+        """Capacity weight per host (dispatch divides load by these)."""
+        return {h.url: h.weight for h in self._hosts}
 
     @property
     def last_host(self) -> Optional[str]:
@@ -247,10 +316,12 @@ class HostPool:
     def _acquire(self) -> Optional[_Host]:
         """Least-loaded living host (in-flight count bumped), or None.
 
-        Load ties break round-robin, not by position: a serial caller
-        (whose in-flight count is always zero at dispatch time) must
-        still spread its requests over the whole fleet instead of
-        pinning the first host.
+        Load is in-flight requests *divided by capacity weight*, so a
+        weight-2 host is only "as busy" as a weight-1 host carrying
+        half its requests. Load ties break round-robin, not by
+        position: a serial caller (whose in-flight count is always
+        zero at dispatch time) must still spread its requests over the
+        whole fleet instead of pinning the first host.
         """
         with self._lock:
             living = [(i, h) for i, h in enumerate(self._hosts) if h.alive]
@@ -259,7 +330,10 @@ class HostPool:
             n = len(self._hosts)
             start = self._next % n
             index, host = min(
-                living, key=lambda ih: (ih[1].inflight, (ih[0] - start) % n)
+                living,
+                key=lambda ih: (
+                    ih[1].inflight / ih[1].weight, (ih[0] - start) % n
+                ),
             )
             self._next = index + 1
             host.inflight += 1
@@ -324,6 +398,126 @@ class HostPool:
             "evaluate_batch", len(actions), env, actions,
             env_kwargs=env_kwargs, memoize=memoize,
         )
+
+    def _try_host(
+        self, host: _Host, op: str, n_evals: int, *args: Any, **kwargs: Any
+    ) -> Any:
+        """One attempt pinned to ``host`` (in-flight accounted).
+
+        Transport death quarantines the host and re-raises so the
+        caller can fail the work over; server-produced errors
+        propagate untouched, like :meth:`_call`.
+        """
+        with self._lock:
+            host.inflight += 1
+        ok = False
+        try:
+            result = getattr(host.client, op)(*args, **kwargs)
+            ok = True
+            return result
+        except ServiceTransportError as exc:
+            self._mark(host, alive=False, error=str(exc))
+            raise
+        finally:
+            self._release(host, n_evals, ok)
+
+    def evaluate_batch_scatter(
+        self,
+        env: str,
+        actions: Sequence[Dict[str, Any]],
+        env_kwargs: Optional[Dict[str, Any]] = None,
+        memoize: bool = True,
+    ) -> Tuple[List[Dict[str, float]], List[Optional[str]]]:
+        """Split one batch across the living hosts and run the chunks
+        in parallel.
+
+        The batch (typically a GA/ACO generation) is cut into
+        contiguous chunks sized by capacity weight — a weight-2 host
+        receives twice the design points — each chunk rides one
+        ``POST /evaluate_batch``, and the results are reassembled in
+        request order. Returns ``(metrics, hosts)`` where ``hosts[i]``
+        names the host that answered point ``i`` (the per-point
+        provenance :class:`~repro.core.env.ArchGymEnv` records).
+
+        A chunk whose assigned host dies mid-flight is quarantined and
+        the chunk re-dispatched through the ordinary least-load
+        failover path (evaluations are idempotent, so a re-sent chunk
+        cannot diverge). A batch that would land on a single host —
+        one living host, or a batch too small to split — delegates to
+        the whole-batch path so tiny batches keep round-robin/
+        least-load placement instead of pinning the heaviest host.
+        """
+        actions = list(actions)
+        if not actions:
+            return [], []
+        self._timed_revival()
+        with self._lock:
+            alive = [h for h in self._hosts if h.alive]
+        if len(alive) > 1:
+            counts = weighted_split(len(actions), [h.weight for h in alive])
+            chunks: List[Tuple[_Host, List[Dict[str, Any]]]] = []
+            cursor = 0
+            for host, count in zip(alive, counts):
+                if count:
+                    chunks.append((host, actions[cursor:cursor + count]))
+                    cursor += count
+        else:
+            chunks = []
+        if len(chunks) <= 1:
+            metrics = self._call(
+                "evaluate_batch", len(actions), env, actions,
+                env_kwargs=env_kwargs, memoize=memoize,
+            )
+            return metrics, [self.last_host] * len(actions)
+
+        chunk_metrics: List[Optional[List[Dict[str, float]]]] = (
+            [None] * len(chunks)
+        )
+        chunk_hosts: List[Optional[str]] = [None] * len(chunks)
+        chunk_errors: List[Optional[BaseException]] = [None] * len(chunks)
+
+        def run_chunk(index: int, host: _Host, sub: List[Dict[str, Any]]) -> None:
+            try:
+                try:
+                    got = self._try_host(
+                        host, "evaluate_batch", len(sub), env, sub,
+                        env_kwargs=env_kwargs, memoize=memoize,
+                    )
+                    served_by = host.url
+                except ServiceTransportError:
+                    # The assigned host died (now quarantined): re-run
+                    # the chunk through the normal failover path.
+                    got = self._call(
+                        "evaluate_batch", len(sub), env, sub,
+                        env_kwargs=env_kwargs, memoize=memoize,
+                    )
+                    served_by = self._local.last_host
+                chunk_metrics[index] = got
+                chunk_hosts[index] = served_by
+            except BaseException as exc:  # surfaced to the caller below
+                chunk_errors[index] = exc
+
+        threads = [
+            threading.Thread(
+                target=run_chunk, args=(i, host, sub), daemon=True
+            )
+            for i, (host, sub) in enumerate(chunks)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for error in chunk_errors:
+            if error is not None:
+                raise error
+
+        metrics: List[Dict[str, float]] = []
+        hosts: List[Optional[str]] = []
+        for index, (_, sub) in enumerate(chunks):
+            metrics.extend(chunk_metrics[index])
+            hosts.extend([chunk_hosts[index]] * len(sub))
+        self._local.last_host = hosts[-1]
+        return metrics, hosts
 
     def healthz(self) -> Dict[str, Any]:
         """Liveness document of the least-loaded living host."""

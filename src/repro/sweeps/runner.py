@@ -286,6 +286,7 @@ def run_lottery_sweep(
     service_timeout_s: Optional[float] = None,
     service_retries: Optional[int] = None,
     service_batch: bool = False,
+    generation_dispatch: bool = False,
 ) -> SweepReport:
     """Run the hyperparameter-lottery experiment.
 
@@ -357,20 +358,23 @@ def run_lottery_sweep(
         :class:`~repro.sweeps.hostpool.HostPool`: a host that dies
         mid-sweep is quarantined (after the client retry policy) and
         its work fails over to the survivors, with per-host evaluation
-        counts reported in ``remote_hosts``. Environments are still
-        built locally (agents need their spaces and reward specs),
-        seeds and trial order are unchanged, and metrics round-trip
-        JSON exactly, so the report is bit-identical to an in-process
-        run apart from timing and the ``remote_evals`` counters in the
-        footer — for any number of hosts. Like ``workers``, this is a
-        wall-clock knob and does not participate in the durable-sweep
+        counts reported in ``remote_hosts``. Each URL may carry a
+        capacity weight as ``URL=WEIGHT`` (default 1): a weight-2 host
+        takes twice the concurrent load and twice the share of every
+        scattered generation. Environments are still built locally
+        (agents need their spaces and reward specs), seeds and trial
+        order are unchanged, and metrics round-trip JSON exactly, so
+        the report is bit-identical to an in-process run apart from
+        timing and the ``remote_evals`` counters in the footer — for
+        any number of hosts. Like ``workers``, this is a wall-clock
+        knob and does not participate in the durable-sweep
         fingerprint. With ``shared_cache=True`` the *first* service's
         ``/cache`` endpoints (not a file under ``out_dir``) provide the
         shared tier, so sweeps on *different machines* reuse each
-        other's design points — note the cache host has no failover
-        (unlike evaluation traffic): if it dies mid-sweep, trials fail
-        loudly rather than silently re-simulating, so keep the first
-        URL on the host that stays up.
+        other's design points; if that host's transport dies
+        mid-sweep, the store fails over to the next pool host (its
+        ``/cache`` map plus the local memo) — only when every host is
+        gone do trials fail loudly rather than silently re-simulating.
     service_timeout_s, service_retries:
         Override the service client's per-attempt socket timeout and
         transport-retry count (defaults: the
@@ -385,6 +389,18 @@ def run_lottery_sweep(
         concurrent sweeps sharing a server stop re-simulating each
         other's points even without ``shared_cache``. Results are
         unchanged (deterministic cost models).
+    generation_dispatch:
+        Drive every trial through the generation-native protocol:
+        population-based agents (GA, ACO) propose whole generations,
+        the environment resolves cache hits per point and sends only
+        the misses through the backend's batched hook in one call —
+        one HTTP round trip per generation on a single service, one
+        per host on a pool (which scatters the generation across its
+        hosts by capacity weight, in parallel). Point-at-a-time agents
+        run unchanged via the default singleton wrappers. A wall-clock
+        knob like ``workers``: reports, datasets, and shard artifacts
+        are byte-identical either way, and it does not participate in
+        the durable-sweep fingerprint.
     """
     if n_trials < 1 or n_samples < 1:
         raise ArchGymError("n_trials and n_samples must be >= 1")
@@ -432,6 +448,7 @@ def run_lottery_sweep(
                     shared_cache_dir=shared_cache_dir,
                     backend=backend,
                     server_cache_url=server_cache_url,
+                    generation_dispatch=generation_dispatch,
                 )
             )
 

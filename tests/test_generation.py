@@ -1,0 +1,630 @@
+"""Tests for the generation-native search protocol.
+
+Four batteries:
+
+1. **Agent batch protocol** — the default ``propose_batch`` /
+   ``observe_batch`` singleton wrappers, the GA/ACO generation
+   overrides, and RNG-stream parity between the serial and batched
+   interfaces.
+2. **``ArchGymEnv.step_batch``** — byte-parity with the serial
+   ``step`` loop across every cache configuration (local LRU, shared
+   tier, disabled), including in-batch duplicates, episode resets, and
+   counter accounting.
+3. **Driver parity** — ``run_agent(generation_dispatch=True)`` is
+   byte-identical to the serial driver for every built-in agent.
+4. **Weighted dispatch plumbing** — ``URL=WEIGHT`` parsing,
+   ``weighted_split`` apportioning, the pool's weight-aware least-load
+   and scatter, and ``ServerCacheStore`` failover to the next pool
+   host.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.agents import make_agent, run_agent
+from repro.agents.aco import ACOAgent
+from repro.agents.base import Agent
+from repro.agents.ga import GAAgent
+from repro.core.cache_store import ServerCacheStore, SharedCacheStore
+from repro.core.errors import (
+    AgentError,
+    EnvironmentError_,
+    ExecutorError,
+    InvalidActionError,
+    ServiceError,
+    ServiceTransportError,
+)
+from repro.core.spaces import Categorical, CompositeSpace, Discrete
+from repro.service import EvaluationService
+from repro.sweeps import (
+    BackendSpec,
+    HostPool,
+    parse_weighted_url,
+    resolve_execution_backend,
+    weighted_split,
+)
+
+from test_service import SvcCountingEnv, _free_port
+
+
+def _space():
+    return CompositeSpace(
+        [Discrete("x", 0, 7, 1), Categorical("m", ("a", "b"))]
+    )
+
+
+# -- 1. the agent batch protocol ---------------------------------------------------
+
+
+class _ScriptedAgent(Agent):
+    """Records the serial propose/observe traffic it receives."""
+
+    name = "scripted"
+
+    def __init__(self, space, seed=0):
+        super().__init__(space, seed)
+        self.proposed = 0
+        self.observed = []
+
+    def propose(self):
+        self.proposed += 1
+        return self.space.sample(self.rng)
+
+    def observe(self, action, fitness, metrics):
+        self.observed.append((dict(action), fitness, dict(metrics)))
+
+
+class TestAgentBatchProtocol:
+    def test_default_propose_batch_is_a_singleton(self):
+        agent = _ScriptedAgent(_space())
+        batch = agent.propose_batch()
+        assert len(batch) == 1
+        assert agent.proposed == 1
+
+    def test_default_observe_batch_loops_observe_in_order(self):
+        agent = _ScriptedAgent(_space())
+        actions = [{"x": i, "m": "a"} for i in range(3)]
+        metrics = [{"cost": float(i)} for i in range(3)]
+        agent.observe_batch(actions, [0.0, 1.0, 2.0], metrics)
+        assert agent.observed == [
+            (actions[i], float(i), metrics[i]) for i in range(3)
+        ]
+
+    def test_default_observe_batch_rejects_misaligned_args(self):
+        agent = _ScriptedAgent(_space())
+        with pytest.raises(AgentError, match="observe_batch"):
+            agent.observe_batch([{"x": 1, "m": "a"}], [0.0, 1.0], [{}])
+
+    def test_ga_proposes_the_whole_generation(self):
+        agent = GAAgent(_space(), seed=1, population_size=6)
+        batch = agent.propose_batch()
+        assert len(batch) == 6
+        agent.observe_batch(batch, list(range(6)), [{}] * 6)
+        assert len(agent.propose_batch()) == 6  # evolved: a fresh one
+        assert agent.generation == 1
+
+    def test_ga_batch_matches_serial_rng_stream(self):
+        """Interleaved propose/observe and batched propose/observe must
+        breed identical generations — including across a truncated
+        (budget-cut) generation boundary."""
+        serial = GAAgent(_space(), seed=7, population_size=5)
+        batched = GAAgent(_space(), seed=7, population_size=5)
+        fitness = iter(np.linspace(-1, 1, 23))
+        serial_actions = []
+        for f in np.linspace(-1, 1, 23):
+            action = serial.propose()
+            serial_actions.append(action)
+            serial.observe(action, float(f), {})
+        batched_actions = []
+        remaining = 23
+        while remaining:
+            batch = batched.propose_batch()[:remaining]
+            batched_actions.extend(batch)
+            batched.observe_batch(
+                batch, [float(next(fitness)) for _ in batch], [{}] * len(batch)
+            )
+            remaining -= len(batch)
+        assert batched_actions == serial_actions
+
+    def test_ga_observe_batch_overrun_rejected(self):
+        agent = GAAgent(_space(), seed=1, population_size=4)
+        batch = agent.propose_batch()
+        with pytest.raises(AgentError, match="propose_batch"):
+            agent.observe_batch(
+                batch + batch[:1], [0.0] * 5, [{}] * 5
+            )
+
+    def test_aco_proposes_the_remaining_cohort(self):
+        agent = ACOAgent(_space(), seed=3, n_ants=4)
+        batch = agent.propose_batch()
+        assert len(batch) == 4
+        # a partially observed cohort proposes only its remainder
+        agent.observe_batch(batch[:3], [0.0, 1.0, 2.0], [{}] * 3)
+        assert len(agent.propose_batch()) == 1
+
+    def test_aco_batch_matches_serial_rng_stream(self):
+        serial = ACOAgent(_space(), seed=11, n_ants=3)
+        batched = ACOAgent(_space(), seed=11, n_ants=3)
+        fits = [float(f) for f in np.linspace(0, 2, 10)]
+        serial_actions = []
+        for f in fits:
+            action = serial.propose()
+            serial_actions.append(action)
+            serial.observe(action, f, {})
+        batched_actions = []
+        cursor = 0
+        while cursor < 10:
+            batch = batched.propose_batch()[: 10 - cursor]
+            batched_actions.extend(batch)
+            batched.observe_batch(
+                batch, fits[cursor:cursor + len(batch)], [{}] * len(batch)
+            )
+            cursor += len(batch)
+        assert batched_actions == serial_actions
+
+
+# -- 2. step_batch parity ----------------------------------------------------------
+
+
+def _env(**kwargs):
+    env = SvcCountingEnv(**kwargs)
+    env.reset(seed=0)
+    return env
+
+
+def _serial_reference(env, actions):
+    """Drive ``env.step`` the way run_agent does (auto-reset between
+    steps) and collect the comparable outcome."""
+    out = []
+    for action in actions:
+        result = env.step(action)
+        out.append((result[0].tolist(), result[1], result[2], result[3],
+                    result[4]["metrics"], result[4]["target_met"],
+                    result[4]["step"]))
+        if result[2] or result[3]:
+            env.reset()
+    return out
+
+
+def _batch_outcome(results):
+    return [
+        (obs.tolist(), reward, term, trunc, info["metrics"],
+         info["target_met"], info["step"])
+        for obs, reward, term, trunc, info in results
+    ]
+
+
+def _counters(env):
+    s = env.stats
+    return (s.total_steps, s.total_episodes, s.cache_hits, s.cache_misses,
+            s.shared_cache_hits, s.remote_evals, env.evaluations)
+
+
+ACTIONS = [
+    {"x": 1, "m": "a"}, {"x": 2, "m": "b"}, {"x": 1, "m": "a"},  # dup
+    {"x": 5, "m": "a"}, {"x": 2, "m": "b"},                      # dup
+    {"x": 7, "m": "b"},
+]
+
+
+class TestStepBatchParity:
+    def test_matches_serial_with_local_cache(self):
+        serial, batched = _env(), _env()
+        for env in (serial, batched):
+            env.enable_cache()
+        reference = _serial_reference(serial, ACTIONS)
+        results = batched.step_batch(ACTIONS)
+        assert _batch_outcome(results) == reference
+        assert _counters(batched) == _counters(serial)
+        assert batched.stats.cache_hits == 2  # the two in-batch dups
+
+    def test_matches_serial_without_any_cache(self):
+        serial, batched = _env(), _env()
+        reference = _serial_reference(serial, ACTIONS)
+        results = batched.step_batch(ACTIONS)
+        assert _batch_outcome(results) == reference
+        assert _counters(batched) == _counters(serial)
+        assert batched.evaluations == len(ACTIONS)  # dups re-simulated
+
+    def test_matches_serial_with_shared_tier_only(self, tmp_path):
+        """Local LRU disabled, shared store attached: in-batch dups
+        must surface as shared hits, exactly like the serial loop."""
+        serial, batched = _env(), _env()
+        serial.attach_shared_cache(SharedCacheStore(tmp_path / "serial"))
+        batched.attach_shared_cache(SharedCacheStore(tmp_path / "batched"))
+        reference = _serial_reference(serial, ACTIONS)
+        results = batched.step_batch(ACTIONS)
+        assert _batch_outcome(results) == reference
+        assert _counters(batched) == _counters(serial)
+        assert batched.stats.shared_cache_hits == 2
+
+    def test_matches_serial_with_both_tiers(self, tmp_path):
+        serial, batched = _env(), _env()
+        for env, name in ((serial, "serial"), (batched, "batched")):
+            env.enable_cache()
+            env.attach_shared_cache(SharedCacheStore(tmp_path / name))
+        reference = _serial_reference(serial, ACTIONS)
+        assert _batch_outcome(batched.step_batch(ACTIONS)) == reference
+        assert _counters(batched) == _counters(serial)
+
+    def test_shared_tier_prepopulated_by_another_process(self, tmp_path):
+        """Each env gets its own store directory (so the serial run's
+        writes cannot leak into the batched one), both pre-populated
+        with the first design point by an earlier "process"."""
+        for name in ("serial", "batched"):
+            probe = _env()
+            probe.attach_shared_cache(SharedCacheStore(tmp_path / name))
+            probe.step(ACTIONS[0])  # pays for the first design point
+
+        serial, batched = _env(), _env()
+        serial.attach_shared_cache(SharedCacheStore(tmp_path / "serial"))
+        batched.attach_shared_cache(SharedCacheStore(tmp_path / "batched"))
+        reference = _serial_reference(serial, ACTIONS)
+        assert _batch_outcome(batched.step_batch(ACTIONS)) == reference
+        assert batched.stats.shared_cache_hits == serial.stats.shared_cache_hits
+        assert batched.stats.shared_cache_hits >= 2  # prepopulated + dups
+
+    def test_episode_resets_mid_batch(self):
+        serial, batched = _env(), _env()
+        for env in (serial, batched):
+            env.episode_length = 2
+        reference = _serial_reference(serial, ACTIONS)
+        results = batched.step_batch(ACTIONS)
+        assert _batch_outcome(results) == reference
+        # the final point truncated its episode: the flag is left for
+        # the driver, exactly like step()
+        assert results[-1][3]  # truncated
+        with pytest.raises(EnvironmentError_, match="reset"):
+            batched.step_batch([ACTIONS[0]])
+        batched.reset()  # what the driver does; episode counts align
+        assert batched.stats.total_episodes == serial.stats.total_episodes
+        assert batched.stats.total_episodes > 1
+
+    def test_dataset_rows_and_step_numbers_match(self):
+        from repro.core.dataset import ArchGymDataset
+
+        serial, batched = _env(), _env()
+        for env in (serial, batched):
+            env.enable_cache()
+            env.attach_dataset(ArchGymDataset(env.env_id), source="t")
+        _serial_reference(serial, ACTIONS)
+        batched.step_batch(ACTIONS)
+        assert list(batched.dataset) == list(serial.dataset)
+
+    def test_empty_batch_is_a_no_op(self):
+        env = _env()
+        assert env.step_batch([]) == []
+        assert env.stats.total_steps == 0
+
+    def test_invalid_action_rejected_before_any_evaluation(self):
+        env = _env()
+        with pytest.raises(InvalidActionError):
+            env.step_batch([ACTIONS[0], {"x": 99, "m": "a"}])
+        assert env.evaluations == 0
+        assert env.stats.total_steps == 0
+
+    def test_needs_reset_guard(self):
+        env = SvcCountingEnv()
+        with pytest.raises(EnvironmentError_, match="reset"):
+            env.step_batch([ACTIONS[0]])
+
+    def test_lru_eviction_during_batch_matches_serial(self):
+        """A batch larger than the LRU: a duplicate whose first
+        occurrence was already evicted must re-simulate, like serial."""
+        serial, batched = _env(), _env()
+        for env in (serial, batched):
+            env.enable_cache(maxsize=2)
+        actions = [
+            {"x": 0, "m": "a"}, {"x": 1, "m": "a"}, {"x": 2, "m": "a"},
+            {"x": 0, "m": "a"},  # evicted by now: a second miss
+            {"x": 0, "m": "a"},  # still resident: a hit
+        ]
+        reference = _serial_reference(serial, actions)
+        assert _batch_outcome(batched.step_batch(actions)) == reference
+        assert _counters(batched) == _counters(serial)
+        assert batched.stats.cache_misses == 4
+        assert batched.stats.cache_hits == 1
+
+
+# -- 3. driver parity --------------------------------------------------------------
+
+
+def _normalized_record(result):
+    record = result.to_record()
+    record["wall_time_s"] = 0.0
+    record["sim_time_s"] = 0.0
+    return record
+
+
+class TestRunAgentGenerationDispatch:
+    @pytest.mark.parametrize("agent_name", ["rw", "ga", "aco", "bo", "rl"])
+    def test_byte_identical_to_serial_driver(self, agent_name):
+        records = []
+        for generation_dispatch in (False, True):
+            env = repro.make("DRAMGym-v0")
+            agent = make_agent(agent_name, env.action_space, seed=3)
+            result = run_agent(
+                agent, env, n_samples=20, seed=5,
+                generation_dispatch=generation_dispatch,
+            )
+            records.append(
+                (_normalized_record(result), env.stats.total_episodes,
+                 env.stats.total_steps)
+            )
+            env.close()
+        assert records[0] == records[1]
+
+    def test_budget_truncates_a_generation(self):
+        """n_samples not divisible by the population: the final
+        generation is cut to the remaining budget."""
+        env = SvcCountingEnv()
+        agent = GAAgent(env.action_space, seed=2, population_size=8)
+        result = run_agent(agent, env, n_samples=11, seed=1,
+                           generation_dispatch=True)
+        assert result.n_samples == 11
+        assert len(result.reward_history) == 11
+        assert env.stats.total_steps == 11
+
+    def test_empty_propose_batch_rejected(self):
+        class _Hollow(Agent):
+            name = "hollow"
+
+            def propose_batch(self):
+                return []
+
+        env = SvcCountingEnv()
+        agent = _Hollow(env.action_space)
+        with pytest.raises(AgentError, match="no proposals"):
+            run_agent(agent, env, n_samples=4, generation_dispatch=True)
+
+
+# -- 4. weighted dispatch plumbing -------------------------------------------------
+
+
+class TestWeightParsing:
+    def test_bare_url_weighs_one(self):
+        assert parse_weighted_url("http://h:8023") == ("http://h:8023", 1.0)
+
+    def test_weighted_url(self):
+        assert parse_weighted_url("http://h:8023=2.5") == ("http://h:8023", 2.5)
+
+    @pytest.mark.parametrize("spec", [
+        "http://h:8023=abc", "http://h:8023=", "http://h:8023=0",
+        "http://h:8023=-1", "http://h:8023=inf", "http://h:8023=nan",
+    ])
+    def test_malformed_weight_rejected(self, spec):
+        with pytest.raises(ExecutorError, match="weight"):
+            parse_weighted_url(spec)
+
+    def test_resolve_backend_threads_weights_into_the_spec(self):
+        backend, _, _ = resolve_execution_backend(
+            ["http://a:1=2", "http://b:1"], False, None
+        )
+        assert backend.service_urls == ("http://a:1", "http://b:1")
+        assert backend.service_weights == (2.0, 1.0)
+        assert backend.service_url == "http://a:1"
+
+    def test_resolve_backend_all_default_weights_stay_none(self):
+        backend, _, _ = resolve_execution_backend(
+            ["http://a:1", "http://b:1"], False, None
+        )
+        assert backend.service_weights is None
+
+    def test_resolve_backend_conflicting_weights_rejected(self):
+        with pytest.raises(ExecutorError, match="conflicting"):
+            resolve_execution_backend(
+                ["http://a:1=2", "http://a:1=3"], False, None
+            )
+
+    def test_resolve_backend_duplicate_agreeing_weight_collapses(self):
+        backend, _, _ = resolve_execution_backend(
+            ["http://a:1=2", "http://a:1=2", "http://b:1"], False, None
+        )
+        assert backend.service_urls == ("http://a:1", "http://b:1")
+        assert backend.service_weights == (2.0, 1.0)
+
+    def test_spec_validates_weight_arity(self):
+        with pytest.raises(ExecutorError, match="weight"):
+            BackendSpec(
+                kind="remote",
+                service_urls=("http://a:1", "http://b:1"),
+                service_weights=(1.0,),
+            )
+
+
+class TestWeightedSplit:
+    def test_even_split(self):
+        assert weighted_split(64, [1.0, 1.0]) == [32, 32]
+
+    def test_proportional_split(self):
+        assert weighted_split(60, [2.0, 1.0]) == [40, 20]
+
+    def test_largest_remainder_rounding_sums_exactly(self):
+        for n in range(0, 30):
+            counts = weighted_split(n, [3.0, 2.0, 1.0])
+            assert sum(counts) == n
+            assert all(c >= 0 for c in counts)
+
+    def test_single_weight_takes_all(self):
+        assert weighted_split(7, [5.0]) == [7]
+
+
+class TestWeightedHostPool:
+    def test_weights_validated(self):
+        with pytest.raises(ServiceError, match="positive"):
+            HostPool(["http://a:1"], weights=[0.0])
+        with pytest.raises(ServiceError, match="weight"):
+            HostPool(["http://a:1", "http://b:1"], weights=[1.0])
+
+    def test_conflicting_duplicate_weights_rejected(self):
+        with pytest.raises(ServiceError, match="conflicting"):
+            HostPool(
+                ["http://a:1", "http://a:1"], weights=[1.0, 2.0],
+            )
+
+    def test_weights_by_host(self):
+        pool = HostPool(
+            ["http://a:1", "http://b:1"], weights=[2.0, 1.0], timeout_s=1.0
+        )
+        assert pool.weights_by_host == {"http://a:1": 2.0, "http://b:1": 1.0}
+
+    def test_least_load_divides_by_weight(self):
+        """A weight-4 host with 2 in-flight (load 0.5) must win over a
+        weight-1 host with 1 in-flight (load 1.0)."""
+        svc_a = EvaluationService()
+        svc_a.register("SvcCounting-v0", SvcCountingEnv)
+        svc_a.start()
+        svc_b = EvaluationService()
+        svc_b.register("SvcCounting-v0", SvcCountingEnv)
+        svc_b.start()
+        try:
+            pool = HostPool(
+                [svc_a.url, svc_b.url], weights=[4.0, 1.0],
+                timeout_s=10.0, retries=0,
+            )
+            pool._hosts[0].inflight = 2
+            pool._hosts[1].inflight = 1
+            for i in range(4):
+                pool.evaluate("SvcCounting-v0", {"x": i, "m": "a"})
+            assert svc_a.evaluations == 4 and svc_b.evaluations == 0
+        finally:
+            svc_a.stop()
+            svc_b.stop()
+
+
+@pytest.fixture()
+def two_counting_services():
+    def _make():
+        svc = EvaluationService()
+        svc.register("SvcCounting-v0", SvcCountingEnv)
+        svc.start()
+        return svc
+
+    a, b = _make(), _make()
+    yield a, b
+    a.stop()
+    b.stop()
+
+
+class TestGenerationScatter:
+    def test_scatter_splits_by_weight_with_per_point_hosts(
+        self, two_counting_services
+    ):
+        a, b = two_counting_services
+        pool = HostPool(
+            [a.url, b.url], weights=[3.0, 1.0], timeout_s=10.0, retries=0
+        )
+        actions = [{"x": i % 8, "m": "a"} for i in range(16)]
+        metrics, hosts = pool.evaluate_batch_scatter(
+            "SvcCounting-v0", actions, memoize=False
+        )
+        env = SvcCountingEnv()
+        assert metrics == [env.evaluate(action) for action in actions]
+        assert hosts[:12] == [a.url] * 12 and hosts[12:] == [b.url] * 4
+        assert a.evaluations == 12 and b.evaluations == 4
+        # one POST per host, not one per point
+        assert sum(h.client.requests_sent for h in pool._hosts) == 2
+
+    def test_singleton_batch_keeps_round_robin_placement(
+        self, two_counting_services
+    ):
+        """A 1-point batch must not pin the heaviest host: it delegates
+        to the least-load/round-robin path."""
+        a, b = two_counting_services
+        pool = HostPool(
+            [a.url, b.url], weights=[2.0, 1.0], timeout_s=10.0, retries=0
+        )
+        for i in range(4):
+            metrics, hosts = pool.evaluate_batch_scatter(
+                "SvcCounting-v0", [{"x": i, "m": "a"}], memoize=False
+            )
+            assert len(metrics) == len(hosts) == 1
+        assert a.evaluations == 2 and b.evaluations == 2
+
+    def test_scatter_fails_over_a_dead_chunk(self, two_counting_services):
+        a, b = two_counting_services
+        url_a = a.url
+        pool = HostPool(
+            [url_a, b.url], timeout_s=1.0, retries=0, backoff_s=0.01
+        )
+        a.stop()
+        actions = [{"x": i % 8, "m": "a"} for i in range(8)]
+        metrics, hosts = pool.evaluate_batch_scatter(
+            "SvcCounting-v0", actions, memoize=False
+        )
+        env = SvcCountingEnv()
+        assert metrics == [env.evaluate(action) for action in actions]
+        assert set(hosts) == {b.url}  # the survivor carried everything
+        assert pool.quarantined_urls == [url_a]
+
+    def test_server_error_propagates_without_quarantine(
+        self, two_counting_services
+    ):
+        a, b = two_counting_services
+        pool = HostPool([a.url, b.url], timeout_s=10.0, retries=0)
+        actions = [{"x": i % 8, "m": "a"} for i in range(8)]
+        with pytest.raises(ServiceError, match="unknown environment") as err:
+            pool.evaluate_batch_scatter("Nope-v0", actions)
+        assert not isinstance(err.value, ServiceTransportError)
+        assert pool.quarantined_urls == []
+
+
+class TestServerCacheFailover:
+    def test_store_fails_over_to_next_pool_host(self, two_counting_services):
+        a, b = two_counting_services
+        store = ServerCacheStore(
+            a.url, fallbacks=(b.url,), timeout_s=1.0, retries=0,
+            backoff_s=0.01,
+        )
+        key_known = (("m", "a"), ("x", 1))
+        store.put(key_known, {"cost": 4.3})
+        a.stop()
+        # a *new* key forces network traffic: the dead host must be
+        # replaced by the fallback instead of failing the sweep
+        key_new = (("m", "b"), ("x", 2))
+        assert store.get(key_new) is None  # B's map: empty, not an error
+        store.put(key_new, {"cost": 1.5})
+        assert store.get(key_new) == {"cost": 1.5}
+        assert len(store) == 1  # B's map holds only the new entry
+        # the local memo still answers entries paid for on host A
+        assert store.get(key_known) == {"cost": 4.3}
+
+    def test_exhausted_fallbacks_raise_transport_error(self):
+        dead_a = f"http://127.0.0.1:{_free_port()}"
+        dead_b = f"http://127.0.0.1:{_free_port()}"
+        store = ServerCacheStore(
+            dead_a, fallbacks=(dead_b,), timeout_s=0.3, retries=0,
+            backoff_s=0.01,
+        )
+        with pytest.raises(ServiceTransportError):
+            store.get((("x", 1),))
+
+    def test_fallbacks_exclude_the_primary(self, two_counting_services):
+        a, _ = two_counting_services
+        store = ServerCacheStore(
+            a.url, fallbacks=(a.url, a.url + "/"), timeout_s=1.0, retries=0
+        )
+        assert store._fallbacks == []
+
+
+class TestHyperparamTagStability:
+    def test_dict_valued_hyperparams_tag_is_insertion_order_free(self):
+        space = _space()
+        a = _ScriptedAgent.__mro__[1](  # the Agent base class directly
+            space, 0, budgets={"latency": 1.0, "power": 2.0}
+        )
+        b = Agent(space, 0, budgets={"power": 2.0, "latency": 1.0})
+        assert a.hyperparam_tag() == b.hyperparam_tag()
+        assert "latency" in a.hyperparam_tag()
+
+    def test_nested_dicts_are_canonicalized(self):
+        space = _space()
+        a = Agent(space, 0, cfg={"outer": {"b": 1, "a": "x"}})
+        b = Agent(space, 0, cfg={"outer": {"a": "x", "b": 1}})
+        assert a.hyperparam_tag() == b.hyperparam_tag()
+        assert a.hyperparam_tag() == "agent[cfg={'outer': {'a': 'x', 'b': 1}}]"
+
+    def test_scalar_formatting_unchanged(self):
+        agent = Agent(_space(), 0, rate=0.1, n=4, mode="fast")
+        assert agent.hyperparam_tag() == "agent[mode=fast,n=4,rate=0.1]"

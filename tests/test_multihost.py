@@ -13,6 +13,11 @@ Three batteries:
    serial in-process, with ``workers=4``, against a single service,
    and over a 2-host pool with batching enabled produces byte-identical
    reports, datasets, and shard artifacts.
+4. **Generation parity** — the generation-native battery: a GA+ACO
+   sweep run serial, with ``generation_dispatch`` in-process, and with
+   ``generation_dispatch`` over a weighted 2-host pool produces
+   byte-identical reports, datasets, and shard artifacts, with the
+   weight-2 host carrying the larger share.
 """
 
 import json
@@ -487,3 +492,95 @@ class TestFourModeParity:
         assert (
             sum(by_host.values()) == reports["hostpool"].remote_evals
         )
+
+
+class TestGenerationParity:
+    """The generation-native acceptance battery: one fixed-seed GA+ACO
+    DRAM sweep run serial, with ``generation_dispatch`` in-process
+    (``step_batch``), and with ``generation_dispatch`` over a
+    *weighted* 2-host pool — byte-identical reports, datasets, and
+    shard artifacts."""
+
+    KW = dict(
+        agents=("ga", "aco"), n_trials=2, n_samples=20, seed=13,
+        collect_dataset=True,
+    )
+
+    @pytest.fixture(scope="class")
+    def modes(self, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("generation-parity")
+        factory = RegistryEnvFactory("DRAMGym-v0")
+
+        def dram_service():
+            import functools
+
+            import repro
+
+            svc = EvaluationService()
+            svc.register(
+                "DRAMGym-v0", functools.partial(repro.make, "DRAMGym-v0")
+            )
+            svc.start()
+            return svc
+
+        pool_a, pool_b = dram_service(), dram_service()
+        pool_urls = (pool_a.url, pool_b.url)
+        try:
+            reports = {
+                "serial": run_lottery_sweep(
+                    factory, workers=1, out_dir=tmp_path / "serial", **self.KW
+                ),
+                "generation": run_lottery_sweep(
+                    factory, generation_dispatch=True,
+                    out_dir=tmp_path / "generation", **self.KW
+                ),
+                "weighted-pool": run_lottery_sweep(
+                    factory,
+                    service_url=[pool_a.url + "=2", pool_b.url],
+                    generation_dispatch=True, service_batch=True,
+                    out_dir=tmp_path / "weighted-pool", **self.KW
+                ),
+            }
+        finally:
+            pool_a.stop()
+            pool_b.stop()
+        return tmp_path, reports, pool_urls
+
+    def test_reports_bit_identical(self, modes):
+        _, reports, _ = modes
+        reference = _normalized(reports["serial"])
+        for mode in ("generation", "weighted-pool"):
+            assert _normalized(reports[mode]) == reference, mode
+
+    def test_datasets_byte_identical(self, modes):
+        tmp_path, reports, _ = modes
+        blobs = {}
+        for mode, report in reports.items():
+            out = tmp_path / f"{mode}.jsonl"
+            report.dataset.save_jsonl(out)
+            blobs[mode] = out.read_bytes()
+        assert len(set(blobs.values())) == 1
+
+    def test_shard_artifacts_byte_identical(self, modes):
+        tmp_path, _, _ = modes
+        shard_names = sorted(
+            p.name for p in (tmp_path / "serial").glob("trial-*.json")
+        )
+        assert shard_names
+        for name in shard_names:
+            reference = _normalized_shard_bytes(tmp_path / "serial" / name)
+            for mode in ("generation", "weighted-pool"):
+                assert (
+                    _normalized_shard_bytes(tmp_path / mode / name) == reference
+                ), f"{mode}/{name}"
+
+    def test_pool_generations_really_scattered(self, modes):
+        """Both hosts answered, per-point provenance accounts for every
+        remote evaluation, and the weight-2 host carried the larger
+        share of the generations."""
+        _, reports, (url_a, url_b) = modes
+        by_host = reports["weighted-pool"].remote_evals_by_host
+        assert by_host.get(url_a, 0) > 0
+        assert by_host.get(url_b, 0) > 0
+        assert sum(by_host.values()) == reports["weighted-pool"].remote_evals
+        assert by_host[url_a] > by_host[url_b]

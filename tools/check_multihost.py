@@ -6,16 +6,21 @@ over a two-host pool with a mid-sweep kill:
 
 1. launches **two** ``python -m repro serve`` processes and waits for
    both to answer ``GET /healthz``;
-2. starts a seeded sweep spread over both hosts (two ``--service-url``
+2. while both hosts are healthy, runs the GA-generation
+   microbenchmark (``check_service.generation_microbench``): one real
+   population-64 GA generation scattered over the 2-host pool must
+   issue ≥ 32× fewer HTTP round trips than per-point dispatch (64 vs
+   one ``POST /evaluate_batch`` per host) and be faster;
+3. starts a seeded sweep spread over both hosts (two ``--service-url``
    flags — least-load scheduling with failover) exporting its report;
-3. while the sweep runs, waits until host A has actually evaluated
+4. while the sweep runs, waits until host A has actually evaluated
    design points, then **SIGKILLs** it — the real thing, not a
    graceful shutdown;
-4. the sweep must complete on the surviving host: the run is diffed
+5. the sweep must complete on the surviving host: the run is diffed
    against an identical in-process sweep (timing and remote-eval
    provenance fields zeroed — everything else must match exactly,
    proving no trial was lost, duplicated, or corrupted by failover);
-5. asserts the kill landed mid-sweep, that the survivor carried load
+6. asserts the kill landed mid-sweep, that the survivor carried load
    afterwards, and that per-trial ``remote_hosts`` provenance accounts
    for every remote evaluation.
 
@@ -45,6 +50,7 @@ from _check_common import (
     spawn_server,
     wait_for_url,
 )
+from check_service import generation_microbench
 
 SWEEP_ARGS = [
     "sweep", "--env", "DRAMGym-v0", "--agents", "rw,ga",
@@ -65,7 +71,15 @@ def main() -> int:
         url_a, url_b = wait_for_url(server_a), wait_for_url(server_b)
         print(f"hosts healthy at {url_a} and {url_b}")
 
-        # 2. the sweep, spread over both hosts
+        # 2. generation-native dispatch must stay a transport win:
+        # population 64 over 2 hosts = 2 round trips vs 64 per-point
+        generation_microbench([url_a, url_b], population=64)
+        # the bench drove evaluations through both hosts; the kill
+        # watch below must only count the *sweep's* evaluations
+        baseline_a = healthz(url_a)["evaluations"]
+        baseline_b = healthz(url_b)["evaluations"]
+
+        # 3. the sweep, spread over both hosts
         sweep = subprocess.Popen(
             cli(*SWEEP_ARGS,
                 "--service-url", url_a, "--service-url", url_b,
@@ -74,10 +88,10 @@ def main() -> int:
             env=check_env(), cwd=REPO_ROOT, stdout=subprocess.DEVNULL,
         )
 
-        # 3. wait until host A demonstrably served part of the sweep,
+        # 4. wait until host A demonstrably served part of the sweep,
         # then SIGKILL it mid-run
         kill_deadline = time.monotonic() + 120
-        evals_a = 0
+        evals_a = baseline_a
         while time.monotonic() < kill_deadline:
             if sweep.poll() is not None:
                 raise RuntimeError(
@@ -87,28 +101,31 @@ def main() -> int:
             try:
                 evals_a = healthz(url_a, timeout=1.0)["evaluations"]
             except (urllib.error.URLError, OSError, ValueError):
-                evals_a = 0
-            if evals_a >= 10:
+                evals_a = baseline_a
+            if evals_a >= baseline_a + 10:
                 break
             time.sleep(0.01)
-        if evals_a < 10:
-            raise RuntimeError("host A never reached 10 evaluations")
+        if evals_a < baseline_a + 10:
+            raise RuntimeError("host A never reached 10 sweep evaluations")
         os.kill(server_a.pid, signal.SIGKILL)
         server_a.wait(timeout=30)
-        print(f"SIGKILLed host A after {evals_a} evaluations; sweep continues")
+        print(
+            f"SIGKILLed host A after {evals_a - baseline_a} sweep "
+            "evaluations; sweep continues"
+        )
 
-        # 4. the sweep must survive on host B alone
+        # 5. the sweep must survive on host B alone
         returncode = sweep.wait(timeout=600)
         if returncode != 0:
             print(f"FAIL: multi-host sweep exited {returncode} after the kill")
             return 1
         health_b = healthz(url_b)
-        if health_b["evaluations"] <= 0:
-            print("FAIL: surviving host served zero evaluations")
+        if health_b["evaluations"] <= baseline_b:
+            print("FAIL: surviving host served zero sweep evaluations")
             return 1
         print(
             f"sweep survived the kill (host B served "
-            f"{health_b['evaluations']} evaluations)"
+            f"{health_b['evaluations'] - baseline_b} sweep evaluations)"
         )
     finally:
         if sweep is not None and sweep.poll() is None:
@@ -126,7 +143,7 @@ def main() -> int:
         timeout=600,
     )
 
-    # 5. diff (remote participation + provenance asserted during load)
+    # 6. diff (remote participation + provenance asserted during load)
     multihost = normalized_rows(multihost_export, expect_remote=True)
     clean = normalized_rows(clean_export, expect_remote=False)
     if not diff_reports(multihost, clean, "multihost"):

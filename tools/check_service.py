@@ -11,6 +11,10 @@ Drives the real CLI end to end, mirroring tools/check_resume.py:
    per-point (64 × ``POST /evaluate`` on one keep-alive connection)
    versus batched (one ``POST /evaluate_batch``) — the batch must use
    ≥ 3× fewer round trips (it uses 64× fewer) and less wall-clock;
+   (:func:`generation_microbench` is the multi-host sibling — a real
+   GA generation of 64 scattered over a 2-host pool must use ≥ 32×
+   fewer round trips than per-point dispatch — run by
+   ``tools/check_multihost.py`` in the ``multihost`` CI job);
 4. runs the identical sweep in-process into a second export;
 5. diffs the two reports — trial order, metrics, hyperparameters, and
    cache counters must match exactly (timing fields and the
@@ -112,6 +116,89 @@ def _microbench(url: str, n_points: int = 64) -> None:
         raise RuntimeError(
             f"batched evaluation ({batched_s:.3f}s) was not faster than "
             f"per-point ({per_point_s:.3f}s)"
+        )
+
+
+def generation_microbench(
+    urls, population: int = 64, min_rt_ratio: float = 32.0
+) -> None:
+    """GA-generation dispatch over a host pool vs per-point dispatch.
+
+    One real GA generation (``population`` distinct-by-construction
+    design points from ``GAAgent.propose_batch``) is evaluated two
+    ways over the same multi-host pool: per point (one
+    ``POST /evaluate`` each, spread least-load/round-robin) and
+    scattered (``HostPool.evaluate_batch_scatter`` — one
+    ``POST /evaluate_batch`` per host, in parallel). The scattered leg
+    must use ≥ ``min_rt_ratio``× fewer HTTP round trips (population 64
+    over 2 hosts: 64 vs 2 = 32×) and less wall-clock, and the metrics
+    must match point for point. Raises on any violation — this is the
+    CI gate for generation-native search staying a transport win.
+    """
+    import repro
+    from repro.agents.ga import GAAgent
+    from repro.sweeps.hostpool import HostPool
+
+    env = repro.make("DRAMGym-v0")
+    agent = GAAgent(env.action_space, seed=0, population_size=population)
+    generation = agent.propose_batch()
+    env.close()
+    if len(generation) != population:
+        raise RuntimeError(
+            f"GA proposed {len(generation)} points, wanted {population}"
+        )
+
+    def pool_round_trips(pool):
+        return sum(h.client.requests_sent for h in pool._hosts)
+
+    per_point_pool = HostPool(urls, timeout_s=30.0, retries=0)
+    scatter_pool = HostPool(urls, timeout_s=30.0, retries=0)
+    per_point_s, scatter_s = float("inf"), float("inf")
+    reps = 3  # best-of-3 per leg so one scheduler hiccup can't flake CI
+    for _ in range(reps):
+        start = time.perf_counter()
+        per_point_results = [
+            per_point_pool.evaluate("DRAMGym-v0", action)
+            for action in generation
+        ]
+        per_point_s = min(per_point_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        # memoize off: both legs must pay the full simulation cost
+        scatter_results, scatter_hosts = scatter_pool.evaluate_batch_scatter(
+            "DRAMGym-v0", generation, memoize=False
+        )
+        scatter_s = min(scatter_s, time.perf_counter() - start)
+
+    if scatter_results != per_point_results:
+        raise RuntimeError(
+            "scattered generation metrics differ from per-point metrics"
+        )
+    hosts_used = {h for h in scatter_hosts if h is not None}
+    if len(hosts_used) != len(scatter_pool.urls):
+        raise RuntimeError(
+            f"generation scatter used {sorted(hosts_used)}, expected all "
+            f"of {scatter_pool.urls}"
+        )
+    per_point_rt = pool_round_trips(per_point_pool) / reps
+    scatter_rt = pool_round_trips(scatter_pool) / reps
+    rt_ratio = per_point_rt / scatter_rt
+    print(
+        f"generation microbench (population {population}, "
+        f"{len(scatter_pool.urls)} hosts, best of {reps}): "
+        f"{per_point_rt:.0f} round trips / {per_point_s:.3f}s per-point vs "
+        f"{scatter_rt:.0f} round trips / {scatter_s:.3f}s scattered "
+        f"({rt_ratio:.0f}x fewer round trips, "
+        f"{per_point_s / scatter_s:.1f}x faster)"
+    )
+    if rt_ratio < min_rt_ratio:
+        raise RuntimeError(
+            f"generation dispatch saved only {rt_ratio:.1f}x round trips "
+            f"(need >= {min_rt_ratio:.0f}x)"
+        )
+    if scatter_s >= per_point_s:
+        raise RuntimeError(
+            f"scattered generation ({scatter_s:.3f}s) was not faster than "
+            f"per-point dispatch ({per_point_s:.3f}s)"
         )
 
 
