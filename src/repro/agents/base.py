@@ -266,6 +266,7 @@ def run_agent(
     seed: Optional[int] = None,
     source_tag: Optional[str] = None,
     generation_dispatch: bool = False,
+    pipeline: bool = False,
 ) -> SearchResult:
     """Drive ``agent`` against ``env`` for ``n_samples`` evaluations.
 
@@ -284,9 +285,23 @@ def run_agent(
     dataset) is byte-identical to the serial loop, while a
     population-based agent on a remote backend pays one HTTP round
     trip per generation instead of one per design point.
+
+    ``pipeline=True`` (which implies the batched protocol) swaps the
+    barrier call for :meth:`ArchGymEnv.step_batch_stream`: results are
+    absorbed point by point in proposal order as work units finish,
+    and — on a work-stealing host pool — the stream ends as soon as
+    every result is *known*, even while an abandoned straggler request
+    is still in flight. The driver then breeds the next cohort
+    (:meth:`Agent.observe_batch` → :meth:`Agent.propose_batch`) and
+    dispatches it to the already-idle hosts, overlapping breeding and
+    next-generation dispatch with the straggler's stale work instead
+    of waiting behind it. Bookkeeping order is unchanged, so the
+    result stays byte-identical to both other modes.
     """
     if n_samples < 1:
         raise AgentError("n_samples must be >= 1")
+    if pipeline:
+        generation_dispatch = True  # the pipeline speaks the batched protocol
     higher = env.reward_spec.higher_is_better
     if env.dataset is not None:
         env.set_source(source_tag or agent.hyperparam_tag())
@@ -341,7 +356,10 @@ def run_agent(
             # it — the serial loop would have stopped mid-generation at
             # exactly this point.
             proposals = proposals[:remaining]
-            step_results = env.step_batch(proposals)
+            step_results = (
+                env.step_batch_stream(proposals) if pipeline
+                else env.step_batch(proposals)
+            )
             fitnesses: List[float] = []
             metrics_list: List[Dict[str, float]] = []
             terminated = truncated = False

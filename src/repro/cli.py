@@ -39,7 +39,11 @@ pool host if the cache host dies), ``--service-batch`` routes
 evaluations through the batched endpoint with server-side
 memoization, and ``--generation-dispatch`` lets population-based
 agents (GA/ACO) evaluate whole generations per round trip —
-scattered across the host pool by weight.
+scattered across the host pool by weight. ``--pipeline`` upgrades
+that scatter to streaming dispatch with work stealing: hosts pull
+work units as they finish, idle hosts steal a straggler's remainder,
+and the next generation starts while the straggler's abandoned
+request drains (results stay byte-identical).
 """
 
 from __future__ import annotations
@@ -208,6 +212,14 @@ def _add_durability_args(parser: argparse.ArgumentParser) -> None:
                              "one batched backend call per generation — "
                              "one HTTP round trip per host on a service "
                              "pool (results stay byte-identical)")
+    parser.add_argument("--pipeline", action="store_true",
+                        help="stream generations instead of scattering "
+                             "behind a barrier (implies "
+                             "--generation-dispatch): hosts pull work "
+                             "units as they finish and idle hosts steal "
+                             "a straggler's remainder, so the next "
+                             "generation starts without waiting on the "
+                             "slowest host (results stay byte-identical)")
     parser.add_argument("--service-timeout", type=float, default=None,
                         metavar="SECONDS",
                         help="per-attempt socket timeout for service "
@@ -275,6 +287,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         service_retries=args.service_retries,
         service_batch=args.service_batch,
         generation_dispatch=args.generation_dispatch,
+        pipeline=args.pipeline,
     )
     print(report.print_table(boxplots=args.boxplots))
     if args.export:
@@ -313,6 +326,7 @@ def _cmd_collect(args: argparse.Namespace) -> int:
             shared_cache_dir=shared_cache_dir,
             backend=backend, server_cache_url=server_cache_url,
             generation_dispatch=args.generation_dispatch,
+            pipeline=args.pipeline,
         )
         for i, name in enumerate(agents)
     ]

@@ -37,6 +37,7 @@ from typing import (
     TYPE_CHECKING,
     Any,
     Dict,
+    Iterator,
     List,
     Mapping,
     Optional,
@@ -242,6 +243,31 @@ class ArchGymEnv:
             if host is not None:
                 by_host[host] = by_host.get(host, 0) + 1
         return metrics_list
+
+    def _dispatch_evaluate_batch_stream(
+        self, actions: Sequence[Mapping[str, Any]]
+    ) -> Iterator[Tuple[int, List[Dict[str, float]]]]:
+        """Streaming variant of :meth:`_dispatch_evaluate_batch`:
+        yields ``(start_index, metrics_list)`` chunks as the backend
+        finishes them, in **arrival** order.
+
+        Counter parity with the barrier dispatch: ``remote_evals`` and
+        per-host attribution are charged chunk by chunk as results
+        land and sum to exactly what one whole-batch call records. A
+        backend without an ``evaluate_batch_stream`` hook — or no
+        backend at all — degenerates to a single blocking whole-batch
+        chunk, so callers never need to care what transport they got.
+        """
+        stream_fn = getattr(self._backend, "evaluate_batch_stream", None)
+        if self._backend is None or stream_fn is None:
+            yield 0, self._dispatch_evaluate_batch(actions)
+            return
+        by_host = self.stats.remote_evals_by_host
+        for start, metrics_list, host in stream_fn(self.env_id, list(actions)):
+            self.stats.remote_evals += len(metrics_list)
+            if host is not None:
+                by_host[host] = by_host.get(host, 0) + len(metrics_list)
+            yield start, metrics_list
 
     # -- evaluation cache ---------------------------------------------------------
 
@@ -460,27 +486,142 @@ class ArchGymEnv:
         episode end on the final point leaves ``_needs_reset`` set for
         the caller, exactly like :meth:`step`.
         """
-        if self._needs_reset:
-            raise EnvironmentError_("call reset() before step_batch()")
-        actions = list(actions)
+        actions, keys = self._validate_batch(actions, "step_batch")
         if not actions:
             return []
+        plan, miss_actions, shared_seen = self._plan_batch(actions, keys)
+
+        # -- one batched dispatch for every miss
+        miss_metrics: List[Dict[str, float]] = []
+        if miss_actions:
+            start = time.perf_counter()
+            miss_metrics = self._dispatch_evaluate_batch(miss_actions)
+            self.stats.total_sim_time += time.perf_counter() - start
+            for metrics in miss_metrics:
+                self._check_metrics(metrics)
+
+        # -- replay pass: the serial per-point bookkeeping, in order
+        return [
+            self._replay_point(action, key, tag, ref, miss_metrics, shared_seen)
+            for action, key, (tag, ref) in zip(actions, keys, plan)
+        ]
+
+    def step_batch_stream(
+        self, actions: Sequence[Mapping[str, Any]]
+    ) -> Iterator[StepResult]:
+        """:meth:`step_batch` over a streaming dispatch — results flow
+        back per work unit instead of behind a whole-batch barrier.
+
+        Byte-identical to :meth:`step_batch` (which is byte-identical
+        to the serial loop): the decision pass classifies every point
+        the same way, and the replay pass applies the serial
+        bookkeeping in **proposal order** — chunks may *arrive* in any
+        order (a work-stolen straggler unit lands whenever its thief
+        finishes), are buffered, and each point is replayed only once
+        its metrics are in hand. Completed :class:`StepResult` tuples
+        are yielded in proposal order as they become replayable.
+
+        Returns a generator; validation and the decision pass run
+        eagerly at call time. The caller must drain the generator — a
+        partially consumed stream leaves the episode bookkeeping
+        mid-batch (the dispatcher itself stops handing out work when
+        the generator is closed). Backends without streaming support
+        (including in-process evaluation) fall back to one whole-batch
+        chunk, so this is always safe to call.
+        """
+        actions, keys = self._validate_batch(actions, "step_batch_stream")
+        if not actions:
+            return iter(())
+        plan, miss_actions, shared_seen = self._plan_batch(actions, keys)
+        return self._replay_stream(actions, keys, plan, miss_actions, shared_seen)
+
+    def _replay_stream(
+        self,
+        actions: List[Mapping[str, Any]],
+        keys: List[Optional[ActionKey]],
+        plan: List[Tuple[str, Any]],
+        miss_actions: List[Mapping[str, Any]],
+        shared_seen: Dict[ActionKey, Dict[str, float]],
+    ) -> Iterator[StepResult]:
+        """Replay the batch in proposal order against a chunk stream,
+        buffering out-of-order arrivals until the next needed miss
+        index is filled."""
+        miss_metrics: List[Optional[Dict[str, float]]] = [None] * len(miss_actions)
+        chunks = (
+            self._dispatch_evaluate_batch_stream(miss_actions)
+            if miss_actions else iter(())
+        )
+
+        def fill(index: int) -> None:
+            while miss_metrics[index] is None:
+                start = time.perf_counter()
+                try:
+                    chunk_start, metrics_list = next(chunks)
+                except StopIteration:
+                    raise EnvironmentError_(
+                        f"evaluation stream ended with design point "
+                        f"{index} of {len(miss_actions)} unanswered"
+                    ) from None
+                self.stats.total_sim_time += time.perf_counter() - start
+                for offset, metrics in enumerate(metrics_list):
+                    self._check_metrics(metrics)
+                    miss_metrics[chunk_start + offset] = metrics
+
+        for action, key, (tag, ref) in zip(actions, keys, plan):
+            if tag in ("miss", "shared-dup"):
+                fill(ref)
+            yield self._replay_point(
+                action, key, tag, ref, miss_metrics, shared_seen
+            )
+
+    def _validate_batch(
+        self, actions: Sequence[Mapping[str, Any]], caller: str
+    ) -> Tuple[List[Mapping[str, Any]], List[Optional[ActionKey]]]:
+        """Shared batched-step entry checks: reset state, per-point
+        validation, and (when any cache tier is on) canonical keys."""
+        if self._needs_reset:
+            raise EnvironmentError_(f"call reset() before {caller}()")
+        actions = list(actions)
         for action in actions:
             try:
                 self.action_space.validate(action)
             except Exception as exc:
                 raise InvalidActionError(str(exc)) from exc
-
         caching = self._eval_cache is not None or self._shared_cache is not None
         keys: List[Optional[ActionKey]] = [
             canonical_action_key(action) if caching else None
             for action in actions
         ]
+        return actions, keys
 
-        # -- decision pass: classify every point as the serial loop would.
-        # ``sim`` shadows the local LRU's key set (values irrelevant) so
-        # in-batch duplicates — and duplicates evicted again by a batch
-        # larger than the LRU — resolve exactly as they would serially.
+    def _check_metrics(self, metrics: Mapping[str, float]) -> None:
+        missing = [m for m in self.observation_metrics if m not in metrics]
+        if missing:
+            raise EnvironmentError_(
+                f"cost model did not report metrics {missing}; "
+                f"got {sorted(metrics)}"
+            )
+
+    def _plan_batch(
+        self,
+        actions: List[Mapping[str, Any]],
+        keys: List[Optional[ActionKey]],
+    ) -> Tuple[
+        List[Tuple[str, Any]],
+        List[Mapping[str, Any]],
+        Dict[ActionKey, Dict[str, float]],
+    ]:
+        """Decision pass of a batched step: classify every point as the
+        serial loop would.
+
+        ``sim`` shadows the local LRU's key set (values irrelevant) so
+        in-batch duplicates — and duplicates evicted again by a batch
+        larger than the LRU — resolve exactly as they would serially.
+        Returns ``(plan, miss_actions, shared_seen)``: per-point
+        ``("local"|"shared"|"shared-dup"|"miss", ref)`` tags, the
+        design points no cache tier could answer (in proposal order),
+        and the shared-tier answers already fetched.
+        """
         plan: List[Tuple[str, Any]] = []
         miss_actions: List[Mapping[str, Any]] = []
         sim: "Optional[OrderedDict[ActionKey, None]]" = (
@@ -527,88 +668,82 @@ class ArchGymEnv:
             if key is not None:
                 pending[key] = index
                 sim_remember(key)
+        return plan, miss_actions, shared_seen
 
-        # -- one batched dispatch for every miss
-        miss_metrics: List[Dict[str, float]] = []
-        if miss_actions:
-            start = time.perf_counter()
-            miss_metrics = self._dispatch_evaluate_batch(miss_actions)
-            self.stats.total_sim_time += time.perf_counter() - start
-            for metrics in miss_metrics:
-                missing = [m for m in self.observation_metrics if m not in metrics]
-                if missing:
-                    raise EnvironmentError_(
-                        f"cost model did not report metrics {missing}; "
-                        f"got {sorted(metrics)}"
-                    )
+    def _replay_point(
+        self,
+        action: Mapping[str, Any],
+        key: Optional[ActionKey],
+        tag: str,
+        ref: Any,
+        miss_metrics: Sequence[Optional[Dict[str, float]]],
+        shared_seen: Dict[ActionKey, Dict[str, float]],
+    ) -> StepResult:
+        """Replay pass for one classified point: the serial per-point
+        bookkeeping — counters, LRU insertion/eviction, shared-cache
+        population, reward, episode accounting, dataset logging — in
+        exactly the order :meth:`step` applies it."""
+        if self._needs_reset:
+            # A mid-batch episode end: the serial driver resets
+            # between steps, so the batch path does too.
+            self.reset()
+        if tag == "local":
+            # By replay time the real LRU holds the key: it either
+            # pre-dated the batch or was remembered by an earlier
+            # miss/shared hit replayed above.
+            cached = self._eval_cache[ref]
+            self.stats.cache_hits += 1
+            self._eval_cache.move_to_end(ref)
+            metrics = dict(cached)
+        elif tag == "shared":
+            self.stats.shared_cache_hits += 1
+            metrics = dict(shared_seen[ref])
+            self._remember_local(ref, metrics)
+        elif tag == "shared-dup":
+            self.stats.shared_cache_hits += 1
+            metrics = {k: float(v) for k, v in miss_metrics[ref].items()}
+            self._remember_local(key, metrics)
+        else:  # miss
+            metrics = miss_metrics[ref]
+            if key is not None:
+                self.stats.cache_misses += 1
+                clean = {k: float(v) for k, v in metrics.items()}
+                self._remember_local(key, clean)
+                if self._shared_cache is not None:
+                    self._shared_cache.put(key, clean)
 
-        # -- replay pass: the serial per-point bookkeeping, in order
-        results: List[StepResult] = []
-        for action, key, (tag, ref) in zip(actions, keys, plan):
-            if self._needs_reset:
-                # A mid-batch episode end: the serial driver resets
-                # between steps, so the batch path does too.
-                self.reset()
-            if tag == "local":
-                # By replay time the real LRU holds the key: it either
-                # pre-dated the batch or was remembered by an earlier
-                # miss/shared hit replayed above.
-                cached = self._eval_cache[ref]
-                self.stats.cache_hits += 1
-                self._eval_cache.move_to_end(ref)
-                metrics = dict(cached)
-            elif tag == "shared":
-                self.stats.shared_cache_hits += 1
-                metrics = dict(shared_seen[ref])
-                self._remember_local(ref, metrics)
-            elif tag == "shared-dup":
-                self.stats.shared_cache_hits += 1
-                metrics = {k: float(v) for k, v in miss_metrics[ref].items()}
-                self._remember_local(key, metrics)
-            else:  # miss
-                metrics = miss_metrics[ref]
-                if key is not None:
-                    self.stats.cache_misses += 1
-                    clean = {k: float(v) for k, v in metrics.items()}
-                    self._remember_local(key, clean)
-                    if self._shared_cache is not None:
-                        self._shared_cache.put(key, clean)
+        reward = self.reward_spec.compute(metrics)
+        observation = np.array(
+            [metrics[m] for m in self.observation_metrics], dtype=np.float64
+        )
 
-            reward = self.reward_spec.compute(metrics)
-            observation = np.array(
-                [metrics[m] for m in self.observation_metrics], dtype=np.float64
-            )
+        self._steps_in_episode += 1
+        self.stats.total_steps += 1
 
-            self._steps_in_episode += 1
-            self.stats.total_steps += 1
+        target_met = self.reward_spec.meets_target(metrics)
+        terminated = bool(self.terminate_on_target and target_met)
+        truncated = self._steps_in_episode >= self.episode_length
+        if terminated or truncated:
+            self._needs_reset = True
 
-            target_met = self.reward_spec.meets_target(metrics)
-            terminated = bool(self.terminate_on_target and target_met)
-            truncated = self._steps_in_episode >= self.episode_length
-            if terminated or truncated:
-                self._needs_reset = True
+        info: Dict[str, Any] = {
+            "metrics": dict(metrics),
+            "target_met": target_met,
+            "step": self._steps_in_episode,
+        }
 
-            info: Dict[str, Any] = {
-                "metrics": dict(metrics),
-                "target_met": target_met,
-                "step": self._steps_in_episode,
-            }
-
-            if self.dataset is not None:
-                self.dataset.append(
-                    Transition(
-                        action=dict(action),
-                        metrics={k: float(v) for k, v in metrics.items()},
-                        reward=float(reward),
-                        source=self._source_tag,
-                        step=self.stats.total_steps,
-                    )
+        if self.dataset is not None:
+            self.dataset.append(
+                Transition(
+                    action=dict(action),
+                    metrics={k: float(v) for k, v in metrics.items()},
+                    reward=float(reward),
+                    source=self._source_tag,
+                    step=self.stats.total_steps,
                 )
-
-            results.append(
-                (observation, float(reward), terminated, truncated, info)
             )
-        return results
+
+        return (observation, float(reward), terminated, truncated, info)
 
     # -- convenience ------------------------------------------------------------------
 

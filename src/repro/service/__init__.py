@@ -2,11 +2,18 @@
 agent — unmodified — evaluates design points over the network.
 
 Server side: :class:`EvaluationService` (stdlib ``ThreadingHTTPServer``)
-serves ``POST /evaluate``, ``GET /healthz``, and ``GET/PUT /cache/<key>``.
-Client side: :class:`ServiceClient` (retry/timeout policy),
-:class:`RemoteBackend` (the ``ArchGymEnv`` evaluation hook), and
-:func:`RemoteEnv` (attach-and-return convenience). The wire format is
-canonicalized in :mod:`repro.service.wire`.
+serves ``POST /evaluate``, ``POST /evaluate_batch`` (many design
+points per round trip, memoized server-side into the cache store),
+``GET /healthz``, and ``GET/PUT /cache/<key>``.
+Client side: :class:`ServiceClient` (persistent keep-alive
+connections, retry/timeout policy), :class:`RemoteBackend` (adapts a
+client — or a :class:`repro.sweeps.HostPool` — to ``ArchGymEnv``'s
+``evaluate`` / ``evaluate_batch`` / ``evaluate_batch_stream`` backend
+hooks), and :func:`RemoteEnv` (attach-and-return convenience). The
+wire format is canonicalized in :mod:`repro.service.wire`; metrics
+survive the JSON round trip bit-exactly, which is what lets every
+remote mode stay byte-identical to an in-process run (see
+``docs/ARCHITECTURE.md``).
 """
 
 from repro.service.client import ServiceClient

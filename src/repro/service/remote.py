@@ -136,6 +136,40 @@ class RemoteBackend:
         )
         return metrics
 
+    def evaluate_batch_stream(self, env_name: str, actions: Sequence[Dict[str, Any]]):
+        """Streaming sibling of :meth:`evaluate_batch`: yield
+        ``(start_index, metrics_list, host_url)`` chunks as hosts
+        finish, in completion order.
+
+        A multi-host pool streams per work unit with work stealing
+        (:meth:`~repro.sweeps.hostpool.HostPool.evaluate_batch_stream`),
+        so the generator finishes as soon as every result is known —
+        no barrier on the slowest host. A single client degenerates to
+        one blocking whole-batch round trip yielded as a single chunk.
+        ``last_hosts`` is rebuilt per point as chunks land, matching
+        the barrier path's provenance contract once the stream is
+        drained. Server-side memoization follows the same ``batch=True``
+        opt-in as :meth:`evaluate_batch`.
+        """
+        actions = list(actions)
+        self.last_hosts = [None] * len(actions)
+        stream = getattr(self.client, "evaluate_batch_stream", None)
+        if stream is None:
+            metrics = self.client.evaluate_batch(
+                env_name, actions, env_kwargs=self.env_kwargs,
+                memoize=self.batch,
+            )
+            host = getattr(self.client, "base_url", None)
+            self.last_hosts = [host] * len(actions)
+            yield 0, metrics, host
+            return
+        for start, metrics_list, host in stream(
+            env_name, actions, env_kwargs=self.env_kwargs, memoize=self.batch,
+        ):
+            for offset in range(len(metrics_list)):
+                self.last_hosts[start + offset] = host
+            yield start, metrics_list, host
+
     def __repr__(self) -> str:
         target = getattr(self.client, "base_url", None) or getattr(
             self.client, "urls", self.client

@@ -1,4 +1,30 @@
-"""Sweep harness, parallel executor, and lottery statistics (paper §6)."""
+"""Sweep harness, parallel executor, and lottery statistics (paper §6).
+
+The package runs the paper's hyperparameter-lottery experiment at any
+scale while guaranteeing one invariant: **results are byte-identical
+no matter how the work is executed**. Serial in-process,
+process-pooled (``workers=N``), resumed from durable shards, remote
+over one service, scattered over a weighted multi-host pool, or
+pipelined with work stealing — same reports, same datasets, same
+cache counters. Execution shape is purely a wall-clock knob.
+
+Layout:
+
+- :mod:`repro.sweeps.runner` — :func:`run_lottery_sweep` /
+  :class:`SweepReport`, the user-facing entry point.
+- :mod:`repro.sweeps.executor` — :class:`TrialTask` scheduling over a
+  process pool; per-worker backend resolution.
+- :mod:`repro.sweeps.shards` — durable sweeps: atomic per-trial JSON
+  shards, fingerprinted manifests, ``resume``.
+- :mod:`repro.sweeps.hostpool` — :class:`HostPool`: least-load
+  dispatch, weighted scatter (:meth:`~HostPool.evaluate_batch_scatter`),
+  streaming dispatch with work stealing
+  (:meth:`~HostPool.evaluate_batch_stream`), quarantine/failover.
+- :mod:`repro.sweeps.stats` / ``export`` / ``plots`` — lottery
+  statistics, report serialization, and Fig. 4-style boxplots.
+
+See ``docs/ARCHITECTURE.md`` for the full layer map.
+"""
 
 from repro.sweeps.executor import (
     BackendSpec,

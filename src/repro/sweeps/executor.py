@@ -334,6 +334,13 @@ class TrialTask:
     #: byte-identical — so it does not participate in the durable-sweep
     #: fingerprint.
     generation_dispatch: bool = False
+    #: Stream each generation through
+    #: :meth:`~repro.core.env.ArchGymEnv.step_batch_stream` (work-unit
+    #: dispatch with work stealing on a multi-host pool) instead of
+    #: the whole-batch barrier. Implies ``generation_dispatch``. Also a
+    #: pure wall-clock knob — byte-identical results — so it stays out
+    #: of the durable-sweep fingerprint.
+    pipeline: bool = False
 
     @property
     def source(self) -> str:
@@ -426,6 +433,7 @@ def run_trial(task: TrialTask) -> TrialOutcome:
                 seed=task.run_seed,
                 source_tag=task.source if task.collect else None,
                 generation_dispatch=task.generation_dispatch,
+                pipeline=task.pipeline,
             )
         except ServiceError as exc:
             # Identify the failing trial: under a process pool, the bare

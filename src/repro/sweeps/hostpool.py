@@ -16,7 +16,21 @@ simulator's speed; :class:`HostPool` points a sweep at N of them:
   parallel, and reassembles the results in request order with
   per-point host provenance — the transport under generation-native
   agents (GA/ACO populations), which turns N per-point round trips
-  into one per host.
+  into one per host. The scatter is a *barrier*: the call returns
+  only when the slowest host has finished its chunk.
+- **Streaming dispatch with work stealing.**
+  :meth:`HostPool.evaluate_batch_stream` removes that barrier. The
+  batch is cut into small contiguous *work units* that hosts pull
+  from a shared queue as they finish (fast hosts naturally take
+  more), completed units are yielded to the caller immediately —
+  arrival order, not request order — and when the queue runs dry an
+  idle host *steals* a straggler's in-flight unit by re-dispatching
+  a duplicate request. Evaluations are deterministic and idempotent,
+  so the first completion wins and late duplicates are discarded by
+  unit id; no unit is ever recorded twice. The stream finishes as
+  soon as every *result* is known — abandoned straggler requests may
+  still be in flight, which is exactly what lets a pipelined driver
+  start the next generation on the idle hosts meanwhile.
 - **Health and failover.** A host whose transport fails (connection
   refused/reset, timeout, torn body — after the client's own retry
   policy) is *quarantined* and the call fails over to a surviving
@@ -43,9 +57,11 @@ knowing which it holds.
 from __future__ import annotations
 
 import math
+import queue
 import threading
 import time
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.errors import ServiceError, ServiceTransportError
 from repro.service.client import ServiceClient
@@ -195,6 +211,13 @@ class HostPool:
         self._lock = threading.Lock()
         self._local = threading.local()
         self._next = 0  # round-robin cursor for load ties
+        #: Cumulative streaming-dispatch accounting (under ``_lock``):
+        #: work units dispatched, units re-dispatched by an idle host
+        #: stealing a straggler's in-flight work, and late duplicate
+        #: completions discarded because another host won the unit.
+        self.stream_units = 0
+        self.stream_steals = 0
+        self.stream_duplicates = 0
 
     # -- introspection ------------------------------------------------------------
 
@@ -518,6 +541,227 @@ class HostPool:
             hosts.extend([chunk_hosts[index]] * len(sub))
         self._local.last_host = hosts[-1]
         return metrics, hosts
+
+    def evaluate_batch_stream(
+        self,
+        env: str,
+        actions: Sequence[Dict[str, Any]],
+        env_kwargs: Optional[Dict[str, Any]] = None,
+        memoize: bool = True,
+        unit_size: Optional[int] = None,
+    ) -> Iterator[Tuple[int, List[Dict[str, float]], Optional[str]]]:
+        """Stream one batch's results back as hosts finish, with work
+        stealing for stragglers.
+
+        The batch is cut into contiguous *work units* of ``unit_size``
+        design points (default: enough units for every living host to
+        pull roughly four as it goes). One worker thread per living
+        host pulls units from a shared queue — a fast host simply
+        pulls more, so dynamic load balancing replaces the static
+        weighted split of :meth:`evaluate_batch_scatter` — and each
+        completed unit is yielded immediately as
+        ``(start_index, metrics, host_url)``, in **completion order**
+        (the caller reassembles proposal order; see
+        :meth:`~repro.core.env.ArchGymEnv.step_batch_stream`).
+
+        **Work stealing.** When the queue is empty but units are still
+        in flight, an idle worker re-dispatches a straggler's unit
+        (never its own; the unit with the fewest runners first). The
+        evaluation API is deterministic and idempotent, so duplicates
+        are harmless: the first completion wins the unit and late
+        finishers are discarded by unit id — ``stream_duplicates``
+        counts them, and no unit is ever yielded twice.
+
+        **No tail barrier.** The generator finishes when every unit's
+        *result* is known, not when every request has returned: an
+        abandoned straggler request may still be in flight while the
+        caller moves on (its eventual completion is discarded, its
+        in-flight slot released by the worker thread). That is the
+        pipelining hook — the driver can breed and dispatch the next
+        generation to the idle hosts while the straggler chews on a
+        stale request.
+
+        **Failure.** A host whose transport dies is quarantined; its
+        unfinished unit returns to the queue (unless a thief already
+        carries it) and the remaining workers absorb the work. If
+        every worker dies with units outstanding, one revival sweep
+        re-probes the fleet and restaffs; only when that finds no
+        living host does the stream raise
+        :class:`ServiceTransportError`. Server-produced errors
+        (deterministic 4xx/5xx) propagate immediately, as everywhere
+        else in the pool.
+
+        A batch with fewer than two work units — or a pool with fewer
+        than two living hosts — delegates to the whole-batch
+        least-load path and yields a single chunk.
+        """
+        actions = list(actions)
+        if not actions:
+            return
+        self._timed_revival()
+        with self._lock:
+            alive = [h for h in self._hosts if h.alive]
+        if unit_size is None:
+            # ~4 units per living host: small enough that the tail is
+            # short and steals are meaningful, large enough that the
+            # per-request overhead stays amortized.
+            unit_size = max(1, math.ceil(len(actions) / (4 * max(1, len(alive)))))
+        if unit_size < 1:
+            raise ServiceError(f"unit_size must be >= 1, got {unit_size}")
+        units: List[Tuple[int, List[Dict[str, Any]]]] = [
+            (start, actions[start:start + unit_size])
+            for start in range(0, len(actions), unit_size)
+        ]
+        if len(alive) < 2 or len(units) < 2:
+            metrics = self._call(
+                "evaluate_batch", len(actions), env, actions,
+                env_kwargs=env_kwargs, memoize=memoize,
+            )
+            yield 0, metrics, self.last_host
+            return
+
+        state_lock = threading.Lock()
+        pending: "deque[int]" = deque(range(len(units)))
+        runners: Dict[int, set] = {}
+        done: Dict[int, bool] = {}
+        stop = [False]
+        completions: "queue.Queue[Tuple[str, Any, Any, Any]]" = queue.Queue()
+        with self._lock:
+            self.stream_units += len(units)
+
+        def take_work(host: _Host) -> Optional[Tuple[int, bool]]:
+            """Next unit for ``host`` (bumping in-flight), or None."""
+            with state_lock:
+                if stop[0]:
+                    return None
+                if pending:
+                    uid, stolen = pending.popleft(), False
+                else:
+                    candidates = [
+                        u for u, r in runners.items()
+                        if u not in done and r and host not in r
+                    ]
+                    if not candidates:
+                        return None
+                    uid = min(candidates, key=lambda u: (len(runners[u]), u))
+                    stolen = True
+                runners.setdefault(uid, set()).add(host)
+            with self._lock:
+                host.inflight += 1
+                if stolen:
+                    self.stream_steals += 1
+            return uid, stolen
+
+        def worker(host: _Host) -> None:
+            try:
+                while True:
+                    work = take_work(host)
+                    if work is None:
+                        return
+                    uid, _ = work
+                    start, sub = units[uid]
+                    try:
+                        got = host.client.evaluate_batch(
+                            env, sub, env_kwargs=env_kwargs, memoize=memoize,
+                        )
+                    except ServiceTransportError as exc:
+                        self._mark(host, alive=False, error=str(exc))
+                        with self._lock:
+                            host.inflight -= 1
+                        with state_lock:
+                            crew = runners.get(uid)
+                            if crew is not None:
+                                crew.discard(host)
+                            if uid not in done and not crew:
+                                # No thief carries this unit: put it
+                                # back for the surviving workers.
+                                pending.appendleft(uid)
+                        return  # quarantined: this worker retires
+                    except BaseException as exc:
+                        # Server-produced (deterministic) error: would
+                        # fail identically on every host — surface it.
+                        with self._lock:
+                            host.inflight -= 1
+                        with state_lock:
+                            stop[0] = True
+                            crew = runners.get(uid)
+                            if crew is not None:
+                                crew.discard(host)
+                        completions.put(("error", exc, None, None))
+                        return
+                    won = False
+                    with state_lock:
+                        crew = runners.get(uid)
+                        if crew is not None:
+                            crew.discard(host)
+                        if uid not in done:
+                            done[uid] = True
+                            won = True
+                    with self._lock:
+                        host.inflight -= 1
+                        if won:
+                            host.evals += len(sub)
+                        else:
+                            self.stream_duplicates += 1
+                    if won:
+                        completions.put(("unit", uid, got, host.url))
+            finally:
+                completions.put(("exit", host, None, None))
+
+        def staff(hosts: Sequence[_Host]) -> int:
+            for host in hosts:
+                threading.Thread(
+                    target=worker, args=(host,), daemon=True
+                ).start()
+            return len(hosts)
+
+        workers_live = staff(alive)
+        n_done = 0
+        revived_once = False
+        last_host: Optional[str] = None
+        try:
+            while n_done < len(units):
+                kind, a, b, c = completions.get()
+                if kind == "unit":
+                    uid, got, url = a, b, c
+                    start, sub = units[uid]
+                    if len(got) != len(sub):
+                        raise ServiceError(
+                            f"host {url} answered {len(got)} metric "
+                            f"object(s) for a {len(sub)}-point unit"
+                        )
+                    n_done += 1
+                    last_host = url
+                    yield start, got, url
+                elif kind == "error":
+                    raise a
+                else:  # a worker retired (host dead or out of work)
+                    workers_live -= 1
+                    if workers_live == 0 and n_done < len(units):
+                        # Every worker is gone with units outstanding:
+                        # at most one revival sweep per stream (like
+                        # _call), then restaff the living hosts — which
+                        # includes a host whose worker merely ran out
+                        # of stealable work before a straggler died
+                        # and requeued its unit.
+                        if not revived_once and self._revive_sweep():
+                            revived_once = True
+                        with self._lock:
+                            living = [h for h in self._hosts if h.alive]
+                        if not living:
+                            raise ServiceTransportError(
+                                f"all {len(self._hosts)} evaluation "
+                                f"host(s) failed with "
+                                f"{len(units) - n_done} work unit(s) "
+                                f"outstanding: {self._error_inventory()}"
+                            )
+                        workers_live = staff(living)
+        finally:
+            # Abandoned by the caller (or finished): stop handing out
+            # units. In-flight straggler requests drain on their own.
+            with state_lock:
+                stop[0] = True
+        self._local.last_host = last_host
 
     def healthz(self) -> Dict[str, Any]:
         """Liveness document of the least-loaded living host."""

@@ -287,6 +287,7 @@ def run_lottery_sweep(
     service_retries: Optional[int] = None,
     service_batch: bool = False,
     generation_dispatch: bool = False,
+    pipeline: bool = False,
 ) -> SweepReport:
     """Run the hyperparameter-lottery experiment.
 
@@ -401,6 +402,16 @@ def run_lottery_sweep(
         knob like ``workers``: reports, datasets, and shard artifacts
         are byte-identical either way, and it does not participate in
         the durable-sweep fingerprint.
+    pipeline:
+        Stream each generation instead of scattering it behind a
+        barrier (implies ``generation_dispatch``): the batch is cut
+        into work units that hosts pull as they finish, results are
+        applied in proposal order as units land, and an idle host
+        work-steals a straggler's unit so the driver can breed and
+        dispatch the next generation while the straggler's abandoned
+        request drains. Another pure wall-clock knob — byte-identical
+        reports, datasets, and shards — outside the durable-sweep
+        fingerprint.
     """
     if n_trials < 1 or n_samples < 1:
         raise ArchGymError("n_trials and n_samples must be >= 1")
@@ -449,6 +460,7 @@ def run_lottery_sweep(
                     backend=backend,
                     server_cache_url=server_cache_url,
                     generation_dispatch=generation_dispatch,
+                    pipeline=pipeline,
                 )
             )
 

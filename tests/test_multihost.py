@@ -14,10 +14,12 @@ Three batteries:
    and over a 2-host pool with batching enabled produces byte-identical
    reports, datasets, and shard artifacts.
 4. **Generation parity** — the generation-native battery: a GA+ACO
-   sweep run serial, with ``generation_dispatch`` in-process, and with
-   ``generation_dispatch`` over a weighted 2-host pool produces
-   byte-identical reports, datasets, and shard artifacts, with the
-   weight-2 host carrying the larger share.
+   sweep run serial, with ``generation_dispatch`` in-process, with
+   ``generation_dispatch`` over a weighted 2-host pool, and in
+   ``pipeline`` mode (streaming dispatch with work stealing) both
+   in-process and over the pool produces byte-identical reports,
+   datasets, and shard artifacts, with the weight-2 host carrying the
+   larger share of the scattered generations.
 """
 
 import json
@@ -497,9 +499,10 @@ class TestFourModeParity:
 class TestGenerationParity:
     """The generation-native acceptance battery: one fixed-seed GA+ACO
     DRAM sweep run serial, with ``generation_dispatch`` in-process
-    (``step_batch``), and with ``generation_dispatch`` over a
-    *weighted* 2-host pool — byte-identical reports, datasets, and
-    shard artifacts."""
+    (``step_batch``), with ``generation_dispatch`` over a *weighted*
+    2-host pool, and pipelined (``step_batch_stream`` — streaming
+    dispatch with work stealing) both in-process and over a 2-host
+    pool — byte-identical reports, datasets, and shard artifacts."""
 
     KW = dict(
         agents=("ga", "aco"), n_trials=2, n_samples=20, seed=13,
@@ -540,6 +543,16 @@ class TestGenerationParity:
                     generation_dispatch=True, service_batch=True,
                     out_dir=tmp_path / "weighted-pool", **self.KW
                 ),
+                "pipeline": run_lottery_sweep(
+                    factory, pipeline=True,
+                    out_dir=tmp_path / "pipeline", **self.KW
+                ),
+                "pipeline-pool": run_lottery_sweep(
+                    factory,
+                    service_url=[pool_a.url, pool_b.url],
+                    pipeline=True,
+                    out_dir=tmp_path / "pipeline-pool", **self.KW
+                ),
             }
         finally:
             pool_a.stop()
@@ -549,7 +562,7 @@ class TestGenerationParity:
     def test_reports_bit_identical(self, modes):
         _, reports, _ = modes
         reference = _normalized(reports["serial"])
-        for mode in ("generation", "weighted-pool"):
+        for mode in ("generation", "weighted-pool", "pipeline", "pipeline-pool"):
             assert _normalized(reports[mode]) == reference, mode
 
     def test_datasets_byte_identical(self, modes):
@@ -569,7 +582,7 @@ class TestGenerationParity:
         assert shard_names
         for name in shard_names:
             reference = _normalized_shard_bytes(tmp_path / "serial" / name)
-            for mode in ("generation", "weighted-pool"):
+            for mode in ("generation", "weighted-pool", "pipeline", "pipeline-pool"):
                 assert (
                     _normalized_shard_bytes(tmp_path / mode / name) == reference
                 ), f"{mode}/{name}"

@@ -14,7 +14,11 @@ Drives the real CLI end to end, mirroring tools/check_resume.py:
    (:func:`generation_microbench` is the multi-host sibling — a real
    GA generation of 64 scattered over a 2-host pool must use ≥ 32×
    fewer round trips than per-point dispatch — run by
-   ``tools/check_multihost.py`` in the ``multihost`` CI job);
+   ``tools/check_multihost.py`` in the ``multihost`` CI job), then
+   :func:`straggler_microbench` injects a deliberately slow host into
+   a 2-host pool and requires streaming dispatch with work stealing
+   (``--pipeline``'s transport) to beat the barrier scatter on
+   wall-clock with at least one steal and identical metrics;
 4. runs the identical sweep in-process into a second export;
 5. diffs the two reports — trial order, metrics, hyperparameters, and
    cache counters must match exactly (timing fields and the
@@ -202,6 +206,102 @@ def generation_microbench(
         )
 
 
+def _slow_dram_env(delay_s: float):
+    """A DRAMGym whose cost model is artificially slow — the injected
+    straggler host of :func:`straggler_microbench`."""
+    import time as _time
+
+    import repro
+
+    env = repro.make("DRAMGym-v0")
+    true_evaluate = env.evaluate
+
+    def slow_evaluate(action):
+        _time.sleep(delay_s)
+        return true_evaluate(action)
+
+    env.evaluate = slow_evaluate
+    return env
+
+
+def straggler_microbench(
+    population: int = 32, delay_s: float = 0.05, unit_size: int = 2
+) -> None:
+    """Barrier scatter vs streaming dispatch over a pool with one
+    deliberately slow host.
+
+    One real GA generation is evaluated two ways over a 2-host pool
+    whose first host sleeps ``delay_s`` per design point: scattered
+    (``HostPool.evaluate_batch_scatter`` — a *barrier*, so the call
+    waits for the straggler's whole half) and streamed
+    (``HostPool.evaluate_batch_stream`` — hosts pull small work units,
+    the idle fast host work-steals the straggler's in-flight unit, and
+    the stream finishes as soon as every result is known). The
+    pipelined leg must beat the barrier on wall-clock, steal at least
+    once, and produce point-identical metrics. Raises on any
+    violation — this is the CI gate for streaming dispatch actually
+    removing the straggler barrier.
+    """
+    import functools
+
+    import repro
+    from repro.agents.ga import GAAgent
+    from repro.service import EvaluationService
+    from repro.sweeps.hostpool import HostPool
+
+    env = repro.make("DRAMGym-v0")
+    agent = GAAgent(env.action_space, seed=0, population_size=population)
+    generation = agent.propose_batch()
+    env.close()
+
+    slow = EvaluationService()
+    slow.register("DRAMGym-v0", functools.partial(_slow_dram_env, delay_s))
+    fast = EvaluationService()
+    fast.register("DRAMGym-v0", functools.partial(repro.make, "DRAMGym-v0"))
+    slow.start()
+    fast.start()
+    try:
+        barrier_pool = HostPool([slow.url, fast.url], timeout_s=60.0, retries=0)
+        stream_pool = HostPool([slow.url, fast.url], timeout_s=60.0, retries=0)
+
+        start = time.perf_counter()
+        barrier_results, _ = barrier_pool.evaluate_batch_scatter(
+            "DRAMGym-v0", generation, memoize=False
+        )
+        barrier_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        streamed: list = [None] * len(generation)
+        for begin, metrics_list, _ in stream_pool.evaluate_batch_stream(
+            "DRAMGym-v0", generation, memoize=False, unit_size=unit_size
+        ):
+            streamed[begin:begin + len(metrics_list)] = metrics_list
+        stream_s = time.perf_counter() - start
+    finally:
+        slow.stop()
+        fast.stop()
+
+    if streamed != barrier_results:
+        raise RuntimeError("streamed metrics differ from barrier metrics")
+    print(
+        f"straggler microbench (population {population}, one host "
+        f"{delay_s * 1e3:.0f}ms/point slower): {barrier_s:.3f}s barrier "
+        f"scatter vs {stream_s:.3f}s pipelined "
+        f"({barrier_s / stream_s:.1f}x faster, "
+        f"{stream_pool.stream_steals} steal(s), "
+        f"{stream_pool.stream_duplicates} duplicate(s) discarded)"
+    )
+    if stream_pool.stream_steals < 1:
+        raise RuntimeError(
+            "streaming dispatch never work-stole the straggler's remainder"
+        )
+    if stream_s >= barrier_s:
+        raise RuntimeError(
+            f"pipelined dispatch ({stream_s:.3f}s) was not faster than the "
+            f"barrier scatter ({barrier_s:.3f}s) despite the straggler"
+        )
+
+
 def main() -> int:
     workdir = Path(mkdtemp(prefix="archgym-service-check-"))
     service_export = workdir / "service.json"
@@ -231,6 +331,9 @@ def main() -> int:
     finally:
         server.terminate()
         server.wait(timeout=30)
+
+    # 3b. streaming dispatch must beat the barrier when one host straggles
+    straggler_microbench()
 
     # 4. in-process reference run
     subprocess.run(
