@@ -1,0 +1,41 @@
+"""``repro.lint`` — repo-specific static analysis for the parity invariants.
+
+The reproduction's central promise (every distributed mode is
+byte-identical to the serial loop) rests on conventions no generic
+linter knows about: seeded-RNG discipline, lock-guarded shared state
+in the threaded layers, counters threaded end-to-end from ``EnvStats``
+into shards and reports, fingerprint coverage of every sweep knob, and
+client/server wire-schema symmetry. This package enforces them with
+pure-``ast`` checkers — run ``python -m repro.lint`` (or
+``tools/check_lint.py`` in CI) and see ``docs/static-analysis.md``.
+"""
+
+from repro.lint.core import (
+    Checker,
+    Finding,
+    LintResult,
+    Project,
+    SourceFile,
+    all_checkers,
+    checker_names,
+    format_human,
+    format_json,
+    load_project,
+    register,
+    run_lint,
+)
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LintResult",
+    "Project",
+    "SourceFile",
+    "all_checkers",
+    "checker_names",
+    "format_human",
+    "format_json",
+    "load_project",
+    "register",
+    "run_lint",
+]

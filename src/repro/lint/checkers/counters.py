@@ -1,0 +1,139 @@
+"""counter-threading: EnvStats counters must survive to the report.
+
+Provenance counters are only trustworthy if they travel the whole
+chain: ``EnvStats`` (where the env increments them) -> ``SearchResult``
+(the per-trial delta) -> ``to_record``/``from_record`` (the shard
+round-trip) -> ``SweepReport`` (aggregation) -> ``report_to_rows``
+(export). A counter added to ``EnvStats`` but dropped anywhere along
+that chain silently vanishes from resumed sweeps — exactly the drift
+this checker exists to catch.
+
+A counter is any ``self.X = <literal>`` field in ``EnvStats.__init__``.
+Two names change along the chain (:data:`RENAMES`); a counter the env
+keeps for itself is suppressed at its definition line with
+``# repro-lint: allow(counter-threading)`` plus a rationale.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.lint.core import Checker, Finding, Project, register
+
+#: EnvStats name -> the name it carries from SearchResult onward.
+RENAMES = {
+    "total_sim_time": "sim_time_s",
+    "remote_evals_by_host": "remote_hosts",
+}
+
+#: The chain stations, in provenance order.
+_STATIONS = (
+    "SearchResult field",
+    "SearchResult.to_record",
+    "SearchResult.from_record",
+    "SweepReport aggregation",
+    "report_to_rows export",
+)
+
+
+def _counter_fields(cls: ast.ClassDef) -> List[Tuple[str, ast.AST]]:
+    """``self.X = <literal>`` assignments in ``__init__``."""
+    out: List[Tuple[str, ast.AST]] = []
+    for stmt in cls.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__":
+            for node in ast.walk(stmt):
+                targets: List[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    targets, value = [node.target], node.value
+                else:
+                    continue
+                if not isinstance(value, (ast.Constant, ast.Dict, ast.List)):
+                    continue
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        out.append((target.attr, node))
+    return out
+
+
+def _dataclass_fields(cls: ast.ClassDef) -> Set[str]:
+    return {
+        stmt.target.id
+        for stmt in cls.body
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name)
+    }
+
+
+def _method(cls: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == name:
+            return stmt
+    return None
+
+
+def _names_and_strings(node: ast.AST) -> Set[str]:
+    """Every identifier, attribute name and string constant under
+    ``node`` — the loosest useful notion of "mentions"."""
+    out: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            out.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            out.add(sub.attr)
+        elif isinstance(sub, ast.keyword) and sub.arg:
+            out.add(sub.arg)
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            out.add(sub.value)
+    return out
+
+
+@register
+class CounterThreadingChecker(Checker):
+    name = "counter-threading"
+    description = (
+        "every EnvStats counter must be threaded through SearchResult, "
+        "to_record/from_record, SweepReport and report_to_rows"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        stats = next(project.find_classes("EnvStats"), None)
+        result = next(project.find_classes("SearchResult"), None)
+        if stats is None or result is None:
+            return  # nothing to anchor on in this tree
+        stats_file, stats_cls = stats
+        _, result_cls = result
+
+        mentions = [_dataclass_fields(result_cls)]
+        for method_name in ("to_record", "from_record"):
+            method = _method(result_cls, method_name)
+            mentions.append(
+                _names_and_strings(method) if method is not None else None
+            )
+        report = next(project.find_classes("SweepReport"), None)
+        mentions.append(
+            _names_and_strings(report[1]) if report is not None else None
+        )
+        rows = next(project.find_functions("report_to_rows"), None)
+        mentions.append(
+            _names_and_strings(rows[1]) if rows is not None else None
+        )
+
+        for counter, node in _counter_fields(stats_cls):
+            threaded = RENAMES.get(counter, counter)
+            for station, seen in zip(_STATIONS, mentions):
+                if seen is None:
+                    continue  # that station doesn't exist in this tree
+                if threaded not in seen:
+                    yield stats_file.finding(
+                        self.name,
+                        node,
+                        f"EnvStats.{counter} (threaded as '{threaded}') "
+                        f"is missing from {station} — the counter would "
+                        "drop out of shards/reports",
+                    )

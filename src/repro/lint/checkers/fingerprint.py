@@ -1,0 +1,152 @@
+"""fingerprint-coverage: every sweep knob is fingerprinted or exempt.
+
+The durable-sweep manifest pins ``sweep_fingerprint(...)`` so resuming
+with different *result-defining* arguments is rejected. The flip side
+is a standing temptation: add a new ``TrialTask`` field or sweep CLI
+flag and forget to decide whether it belongs in the fingerprint. The
+``--pipeline`` precedent settled the policy — a knob is either passed
+to ``sweep_fingerprint`` or listed, with a reason, in the
+``FINGERPRINT_EXEMPT`` mapping next to the fingerprint itself
+(``repro/sweeps/shards.py``). This checker enforces the dichotomy:
+
+- every field of the ``TrialTask`` dataclass, and
+- every ``--flag`` registered on the sweep/collect parsers
+  (``sweep_p`` / ``col_p`` receivers and ``_add_durability_args``)
+
+must appear as a ``sweep_fingerprint`` keyword (``trials`` matches
+``n_trials``) or as a ``FINGERPRINT_EXEMPT`` key. The checker is inert
+on trees with no ``sweep_fingerprint`` call sites.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.lint.core import Checker, Finding, Project, SourceFile, register
+
+#: Parser variables whose ``add_argument`` calls define sweep knobs.
+_SWEEP_PARSER_NAMES = {"sweep_p", "col_p"}
+_DURABILITY_FUNC = "_add_durability_args"
+
+
+def _fingerprint_kwargs(project: Project) -> Set[str]:
+    covered: Set[str] = set()
+    for sf in project.library_files():
+        for node in ast.walk(sf.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "sweep_fingerprint"
+            ):
+                covered.update(kw.arg for kw in node.keywords if kw.arg)
+    return covered
+
+
+def _exempt_names(project: Project) -> Set[str]:
+    """Keys of the ``FINGERPRINT_EXEMPT = {...}`` mapping, wherever it
+    is defined."""
+    exempt: Set[str] = set()
+    for sf in project.library_files():
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(
+                isinstance(t, ast.Name) and t.id == "FINGERPRINT_EXEMPT"
+                for t in node.targets
+            ):
+                continue
+            if isinstance(node.value, ast.Dict):
+                for key in node.value.keys:
+                    if isinstance(key, ast.Constant) and isinstance(
+                        key.value, str
+                    ):
+                        exempt.add(key.value)
+    return exempt
+
+
+def _trial_task_fields(
+    project: Project,
+) -> List[Tuple[SourceFile, str, ast.AST]]:
+    found = next(project.find_classes("TrialTask"), None)
+    if found is None:
+        return []
+    sf, cls = found
+    return [
+        (sf, stmt.target.id, stmt)
+        for stmt in cls.body
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name)
+    ]
+
+
+def _sweep_cli_flags(project: Project) -> List[Tuple[SourceFile, str, ast.AST]]:
+    flags: List[Tuple[SourceFile, str, ast.AST]] = []
+
+    def harvest(sf: SourceFile, call: ast.Call) -> None:
+        if call.args and isinstance(call.args[0], ast.Constant):
+            raw = call.args[0].value
+            if isinstance(raw, str) and raw.startswith("--"):
+                flags.append((sf, raw[2:].replace("-", "_"), call))
+
+    for sf in project.library_files():
+        durability_funcs = [
+            node
+            for node in ast.walk(sf.tree)
+            if isinstance(node, ast.FunctionDef)
+            and node.name == _DURABILITY_FUNC
+        ]
+        for func in durability_funcs:
+            for node in ast.walk(func):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "add_argument"
+                ):
+                    harvest(sf, node)
+        for node in ast.walk(sf.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_argument"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in _SWEEP_PARSER_NAMES
+            ):
+                harvest(sf, node)
+    return flags
+
+
+@register
+class FingerprintCoverageChecker(Checker):
+    name = "fingerprint-coverage"
+    description = (
+        "every TrialTask field and sweep CLI flag must be passed to "
+        "sweep_fingerprint or listed (with a reason) in FINGERPRINT_EXEMPT"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        covered = _fingerprint_kwargs(project)
+        if not covered:
+            return  # no fingerprint in this tree; nothing to hold it to
+        exempt = _exempt_names(project)
+        seen: Set[Tuple[str, str]] = set()
+        knobs = [
+            (sf, name, node, "TrialTask field")
+            for sf, name, node in _trial_task_fields(project)
+        ] + [
+            (sf, name, node, "sweep CLI flag")
+            for sf, name, node in _sweep_cli_flags(project)
+        ]
+        for sf, name, node, kind in knobs:
+            if name in covered or f"n_{name}" in covered or name in exempt:
+                continue
+            key = (kind, name)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield sf.finding(
+                self.name,
+                node,
+                f"{kind} '{name}' is neither passed to sweep_fingerprint "
+                "nor exempted in FINGERPRINT_EXEMPT — decide whether it "
+                "changes results and record it",
+            )

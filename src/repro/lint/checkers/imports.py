@@ -1,0 +1,68 @@
+"""unused-import: the offline F401 approximation, as a checker.
+
+Port of the former ``tools/check_unused_imports.py``: a name bound by
+``import``/``from ... import`` that never reappears in the module —
+as an ``ast.Name`` or inside any string constant (which covers
+``__all__`` re-exports) — is flagged. ``# noqa`` on the import line
+still suppresses (ruff parity), as does the framework's own
+``# repro-lint: allow(unused-import)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Tuple
+
+from repro.lint.core import Checker, Finding, SourceFile, register
+
+
+def imported_names(tree: ast.AST) -> Iterator[Tuple[str, int]]:
+    """Yield ``(bound_name, lineno)`` for every import binding."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                yield bound, node.lineno
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                yield (alias.asname or alias.name), node.lineno
+
+
+def used_names(tree: ast.AST) -> Set[str]:
+    """Every identifier the module references, plus all string
+    constants (so ``__all__`` entries count as uses)."""
+    used: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            used.add(node.value)
+    return used
+
+
+@register
+class UnusedImportChecker(Checker):
+    name = "unused-import"
+    description = (
+        "imported names must be referenced somewhere in the module "
+        "(offline F401 approximation; '# noqa' still suppresses)"
+    )
+
+    def check_file(self, sf: SourceFile) -> Iterator[Finding]:
+        used = used_names(sf.tree)
+        for bound, lineno in imported_names(sf.tree):
+            if bound in used:
+                continue
+            line = sf.lines[lineno - 1] if lineno <= len(sf.lines) else ""
+            if "noqa" in line:
+                continue
+            yield Finding(
+                self.name,
+                sf.display,
+                lineno,
+                f"'{bound}' imported but unused",
+            )

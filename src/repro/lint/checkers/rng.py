@@ -1,0 +1,142 @@
+"""rng-discipline: all randomness must come from the seeded stream.
+
+Byte-parity across executors depends on every random draw flowing
+through a generator constructed from the trial's precomputed seed
+(``np.random.default_rng(seed)`` / the agent's ``self.rng``). Inside
+``agents/``, ``core/`` and ``sweeps/`` this checker flags:
+
+- any call on the stdlib ``random`` module's global state
+  (``random.random()``, ``random.seed()``, ...);
+- any call on numpy's legacy global state (``np.random.rand()``,
+  ``np.random.seed()``, ...);
+- *unseeded* construction of a generator: ``random.Random()``,
+  ``np.random.default_rng()``, ``np.random.RandomState()`` with no
+  arguments.
+
+Seeded constructions (``default_rng(seed)``, ``Random(seed)``,
+``Generator(PCG64(seed))``) are fine — that is the discipline.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator
+
+from repro.lint.core import Checker, Finding, SourceFile, register
+
+#: Directories whose code must draw from the seeded per-agent stream.
+SCOPED_DIRS = {"agents", "core", "sweeps"}
+
+#: Constructors that are deterministic *when given a seed argument*.
+SEEDED_CONSTRUCTORS = {
+    "Random",
+    "default_rng",
+    "Generator",
+    "RandomState",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+
+def _module_aliases(tree: ast.AST) -> Dict[str, str]:
+    """Map local names to the RNG module they denote.
+
+    ``import random`` -> {"random": "random"}; ``import numpy as np``
+    -> {"np": "numpy"}; ``from numpy import random as npr`` ->
+    {"npr": "numpy.random"}; ``from random import choice`` ->
+    {"choice": "random.choice"} (a function, dotted three-deep).
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in ("random", "numpy", "numpy.random"):
+                    aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.module in ("random", "numpy.random"):
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+            elif node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        aliases[alias.asname or "random"] = "numpy.random"
+    return aliases
+
+
+def _dotted(node: ast.AST) -> str:
+    """``np.random.default_rng`` -> "np.random.default_rng"; "" if the
+    expression is not a plain dotted name."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return ""
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+@register
+class RngDisciplineChecker(Checker):
+    name = "rng-discipline"
+    description = (
+        "agents/, core/ and sweeps/ must draw randomness from the "
+        "seeded per-agent stream, never module-level RNG state"
+    )
+
+    def relevant(self, sf: SourceFile) -> bool:
+        return bool(SCOPED_DIRS.intersection(sf.parts))
+
+    def check_file(self, sf: SourceFile) -> Iterator[Finding]:
+        aliases = _module_aliases(sf.tree)
+        if not aliases:
+            return
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if not dotted:
+                continue
+            head, _, rest = dotted.partition(".")
+            target = aliases.get(head)
+            if target is None:
+                continue
+            full = f"{target}.{rest}" if rest else target
+            finding = self._classify(sf, node, full)
+            if finding is not None:
+                yield finding
+
+    def _classify(self, sf, node: ast.Call, full: str):
+        if full.startswith("random."):
+            fn = full.split(".", 1)[1]
+        elif full.startswith("numpy.random."):
+            fn = full.split(".", 2)[2]
+        else:
+            return None
+        if "." in fn:  # e.g. a method on a stored generator object
+            return None
+        seeded = bool(node.args) or bool(node.keywords)
+        if fn in SEEDED_CONSTRUCTORS:
+            if seeded:
+                return None
+            return sf.finding(
+                self.name,
+                node,
+                f"unseeded RNG construction {full}() — pass the trial's "
+                "seed (or derive from the per-agent stream)",
+            )
+        return sf.finding(
+            self.name,
+            node,
+            f"module-level RNG call {full}(...) — draw from the seeded "
+            "per-agent stream (self.rng / np.random.default_rng(seed)) "
+            "instead",
+        )

@@ -1,0 +1,87 @@
+"""Command-line front end for ``python -m repro.lint``."""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+from repro.lint.core import (
+    all_checkers,
+    checker_names,
+    format_human,
+    format_json,
+    run_lint,
+)
+
+#: Same sweep as the old ``tools/check_unused_imports.py``: every root
+#: that holds first-party python.
+DEFAULT_ROOTS = ("src", "tests", "benchmarks", "examples", "tools")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based invariant analyzer for this repository "
+        "(determinism, concurrency, provenance).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze "
+        f"(default: {' '.join(DEFAULT_ROOTS)}, skipping missing ones)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated checker names to run (default: all)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_checkers",
+        help="list registered checkers and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_checkers:
+        for checker in all_checkers():
+            print(f"{checker.name}: {checker.description}")
+        return 0
+    paths = list(args.paths)
+    if not paths:
+        paths = [root for root in DEFAULT_ROOTS if os.path.isdir(root)]
+        if not paths:
+            print("error: no default roots found; pass paths explicitly",
+                  file=sys.stderr)
+            return 2
+    select = None
+    if args.select:
+        select = [name.strip() for name in args.select.split(",") if name.strip()]
+        unknown = set(select) - set(checker_names())
+        if unknown:
+            print(
+                f"error: unknown checker(s): {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(checker_names())})",
+                file=sys.stderr,
+            )
+            return 2
+    result = run_lint(paths, select=select)
+    formatter = format_json if args.format == "json" else format_human
+    print(formatter(result))
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,262 @@
+"""Framework core for ``repro.lint``: files, findings, suppressions.
+
+The analyzer is deliberately small: parse every ``*.py`` under the
+requested roots once (`SourceFile`), hand the parsed set (`Project`)
+to each registered :class:`Checker`, and collect :class:`Finding`
+objects. A finding is *suppressed* — reported in the summary but not
+fatal — when the flagged line carries a ``# repro-lint: allow(rule)``
+comment naming the finding's rule (or ``allow(*)``).
+
+Checkers never import the modules they analyze; everything is pure
+``ast`` so the lint runs on any tree, broken imports and all.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "SourceFile",
+    "Project",
+    "Checker",
+    "register",
+    "all_checkers",
+    "checker_names",
+    "load_project",
+    "run_lint",
+    "LintResult",
+    "format_human",
+    "format_json",
+]
+
+#: ``# repro-lint: allow(rule)`` / ``allow(rule-a, rule-b)`` / ``allow(*)``.
+#: Anything after the closing paren is free-form rationale.
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*allow\(([^)]*)\)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a file and line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, str]:
+        return (self.path, self.line, self.rule)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+class SourceFile:
+    """A parsed python file plus its per-line suppression table."""
+
+    def __init__(self, path: Path, display: str, source: str) -> None:
+        self.path = path
+        self.display = display  # root-relative posix path, used in findings
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=display)
+        self.suppressions: Dict[int, Set[str]] = {}
+        for lineno, text in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match:
+                rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+                if rules:
+                    self.suppressions[lineno] = rules
+
+    @property
+    def parts(self) -> Tuple[str, ...]:
+        return tuple(Path(self.display).parts)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        allowed = self.suppressions.get(line, ())
+        return rule in allowed or "*" in allowed
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        return Finding(rule, self.display, getattr(node, "lineno", 1), message)
+
+
+class Project:
+    """The full set of files under analysis, with lookup helpers."""
+
+    def __init__(self, files: Sequence[SourceFile]) -> None:
+        self.files = list(files)
+        self._by_display = {f.display: f for f in self.files}
+
+    def get(self, display: str) -> Optional[SourceFile]:
+        return self._by_display.get(display)
+
+    def library_files(self) -> List[SourceFile]:
+        """Files that define the library's behavior — excludes tests,
+        whose scratch calls/classes must not loosen cross-file checks."""
+        out = []
+        for sf in self.files:
+            name = Path(sf.display).name
+            if name.startswith("test_") or "tests" in sf.parts:
+                continue
+            out.append(sf)
+        return out
+
+    def find_classes(self, name: str) -> Iterator[Tuple[SourceFile, ast.ClassDef]]:
+        for sf in self.library_files():
+            for node in ast.walk(sf.tree):
+                if isinstance(node, ast.ClassDef) and node.name == name:
+                    yield sf, node
+
+    def find_functions(self, name: str) -> Iterator[Tuple[SourceFile, ast.FunctionDef]]:
+        for sf in self.library_files():
+            for node in ast.walk(sf.tree):
+                if isinstance(node, ast.FunctionDef) and node.name == name:
+                    yield sf, node
+
+
+class Checker:
+    """Base class: subclass, set ``name``/``description``, override
+    :meth:`check_file` (per-file rules) or :meth:`check` (cross-file)."""
+
+    name: str = ""
+    description: str = ""
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for sf in project.files:
+            if self.relevant(sf):
+                yield from self.check_file(sf)
+
+    def relevant(self, sf: SourceFile) -> bool:
+        return True
+
+    def check_file(self, sf: SourceFile) -> Iterator[Finding]:
+        return iter(())
+
+
+_REGISTRY: Dict[str, type] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator adding a Checker subclass to the registry."""
+    if not getattr(cls, "name", ""):
+        raise ValueError(f"checker {cls!r} has no name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def _ensure_builtin_checkers() -> None:
+    from repro.lint import checkers  # noqa: F401  (import registers them)
+
+
+def checker_names() -> List[str]:
+    _ensure_builtin_checkers()
+    return sorted(_REGISTRY)
+
+
+def all_checkers(select: Optional[Iterable[str]] = None) -> List[Checker]:
+    _ensure_builtin_checkers()
+    names = sorted(_REGISTRY) if select is None else list(select)
+    unknown = [n for n in names if n not in _REGISTRY]
+    if unknown:
+        raise KeyError(f"unknown checker(s): {', '.join(unknown)}")
+    return [_REGISTRY[n]() for n in names]
+
+
+def iter_python_files(root: Path) -> Iterator[Path]:
+    if root.is_file():
+        if root.suffix == ".py":
+            yield root
+        return
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        yield path
+
+
+def load_project(paths: Sequence[str]) -> Tuple[Project, List[Finding]]:
+    """Parse every python file under ``paths``. Unparseable files become
+    ``syntax`` findings instead of aborting the run."""
+    files: List[SourceFile] = []
+    errors: List[Finding] = []
+    seen: Set[Path] = set()
+    for raw in paths:
+        root = Path(raw)
+        for path in iter_python_files(root):
+            resolved = path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            display = path.as_posix()
+            try:
+                source = path.read_text(encoding="utf-8")
+                files.append(SourceFile(path, display, source))
+            except (SyntaxError, UnicodeDecodeError) as exc:
+                line = getattr(exc, "lineno", 1) or 1
+                errors.append(Finding("syntax", display, line, str(exc)))
+    return Project(files), errors
+
+
+@dataclass
+class LintResult:
+    findings: List[Finding]
+    suppressed: List[Finding]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+
+def run_lint(
+    paths: Sequence[str], select: Optional[Iterable[str]] = None
+) -> LintResult:
+    """Run the (selected) checkers over ``paths`` and split findings
+    into active vs suppressed."""
+    project, errors = load_project(paths)
+    raw: List[Finding] = list(errors)
+    for checker in all_checkers(select):
+        raw.extend(checker.check(project))
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in sorted(set(raw), key=Finding.sort_key):
+        sf = project.get(finding.path)
+        if sf is not None and sf.is_suppressed(finding.rule, finding.line):
+            suppressed.append(finding)
+        else:
+            active.append(finding)
+    return LintResult(active, suppressed)
+
+
+def format_human(result: LintResult) -> str:
+    lines = [
+        f"{f.path}:{f.line}: [{f.rule}] {f.message}" for f in result.findings
+    ]
+    lines.append(
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.suppressed)} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def format_json(result: LintResult) -> str:
+    return json.dumps(
+        {
+            "findings": [f.to_dict() for f in result.findings],
+            "suppressed": [f.to_dict() for f in result.suppressed],
+            "counts": {
+                "findings": len(result.findings),
+                "suppressed": len(result.suppressed),
+            },
+        },
+        indent=2,
+        sort_keys=True,
+    )

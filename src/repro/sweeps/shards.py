@@ -36,6 +36,7 @@ from repro.sweeps.executor import TrialOutcome, TrialTask, execute_trials
 __all__ = [
     "MANIFEST_NAME",
     "sweep_fingerprint",
+    "FINGERPRINT_EXEMPT",
     "write_manifest",
     "load_manifest",
     "prepare_sweep_dir",
@@ -63,6 +64,46 @@ def sweep_fingerprint(**fields: Any) -> str:
     """
     payload = json.dumps(fields, sort_keys=True, separators=(",", ":"), default=str)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+#: Sweep knobs that deliberately do NOT participate in the durable-sweep
+#: fingerprint, each with the reason. Every ``TrialTask`` field and every
+#: sweep/collect CLI flag must either be passed to
+#: :func:`sweep_fingerprint` or appear here — the ``fingerprint-coverage``
+#: checker (``python -m repro.lint``) enforces the dichotomy, so adding a
+#: knob forces an explicit decision about whether it changes results.
+FINGERPRINT_EXEMPT = {
+    # -- wall-clock / durability knobs: cannot change trial outcomes --
+    "workers": "process-pool width; results are bit-identical for any N",
+    "cache": "memoization skips re-simulating deterministic cost models",
+    "no_cache": "CLI spelling of the cache toggle",
+    "shared_cache": "cross-process cache tier; deterministic reuse only",
+    "shared_cache_dir": "location of the shared cache tier",
+    "backend": "remote execution endpoint; byte-parity enforced by CI",
+    "service_url": "CLI spelling of the remote backend",
+    "service_batch": "batched transport for the same evaluations",
+    "service_timeout": "client transport policy",
+    "service_retries": "client transport policy",
+    "server_cache_url": "server-side memo tier; deterministic reuse only",
+    "generation_dispatch": "batched generation transport, same results",
+    "pipeline": "streaming dispatch with stealing, same results",
+    "out_dir": "names the shard directory itself",
+    "resume": "re-runs only missing trials of the same fingerprint",
+    # -- presentation-only flags --
+    "boxplots": "report rendering",
+    "export": "report rendering",
+    "out": "collect-mode dataset path",
+    # -- derived per-trial fields: already pinned by the fingerprint --
+    "index": "trial position; implied by agents x n_trials",
+    "agent": "one entry of the fingerprinted agents list",
+    "hyperparams": "drawn deterministically from the sweep seed",
+    "agent_seed": "drawn deterministically from the sweep seed",
+    "run_seed": "drawn deterministically from the sweep seed",
+    "env_factory": "identified by env_id + env_signature",
+    "env": "CLI spelling of env_id",
+    "workload": "folded into env_signature by the env factory",
+    "objective": "folded into env_signature by the env factory",
+}
 
 
 # -- manifest ---------------------------------------------------------------------

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Invariant-lint gate (CI's `lint-invariants` job).
+
+Runs the full ``repro.lint`` checker suite — rng-discipline,
+lock-guard, counter-threading, fingerprint-coverage, wire-schema and
+unused-import — over every first-party root and fails on any
+unsuppressed finding. This is the single offline lint story: together
+with ``python -m compileall`` it approximates CI's ruff job without
+network access, and it enforces the repo-specific parity invariants
+ruff cannot know about (see ``docs/static-analysis.md``).
+
+Usage: ``python tools/check_lint.py`` (repo root). Exits non-zero
+listing every finding.
+"""
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def main() -> int:
+    import os
+
+    from repro.lint.cli import DEFAULT_ROOTS, main as lint_main
+
+    os.chdir(REPO_ROOT)
+    roots = [root for root in DEFAULT_ROOTS if os.path.isdir(root)]
+    code = lint_main(roots)
+    if code == 0:
+        print("OK: repro.lint found no unsuppressed findings "
+              f"under {' '.join(roots)}")
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())
