@@ -32,10 +32,13 @@ running ``repro serve`` instance instead of evaluating in-process —
 results stay bit-identical (same seeds, same trial order); repeat the
 flag to spread one sweep over several hosts (least-load scheduling,
 automatic failover when a host dies), with ``=WEIGHT`` declaring a
-host's relative capacity. With ``--shared-cache`` the (first) service
-also hosts the shared design-point cache, so sweeps on different
-machines reuse each other's evaluations (failing over to the next
-pool host if the cache host dies), ``--service-batch`` routes
+host's relative capacity (or let ``--auto-weights`` tune the weights
+from each host's observed service rate). With ``--shared-cache`` the
+(first) service also hosts the shared design-point cache, so sweeps
+on different machines reuse each other's evaluations — writes are
+replicated to ``--cache-replicas`` pool hosts (default 2), reads
+fail over to a replica if the cache host dies, and revived hosts are
+backfilled, so no entry is ever lost. ``--service-batch`` routes
 evaluations through the batched endpoint with server-side
 memoization, and ``--generation-dispatch`` lets population-based
 agents (GA/ACO) evaluate whole generations per round trip —
@@ -220,6 +223,22 @@ def _add_durability_args(parser: argparse.ArgumentParser) -> None:
                              "a straggler's remainder, so the next "
                              "generation starts without waiting on the "
                              "slowest host (results stay byte-identical)")
+    parser.add_argument("--auto-weights", action="store_true",
+                        help="self-tune the pool's dispatch weights "
+                             "from each host's observed service rate "
+                             "(/healthz counters, EWMA-smoothed, "
+                             "clamped so no host starves) — "
+                             "heterogeneous fleets rebalance "
+                             "automatically (results stay "
+                             "byte-identical); requires --service-url")
+    parser.add_argument("--cache-replicas", type=int, default=None,
+                        metavar="N",
+                        help="with --shared-cache and --service-url: "
+                             "replicate every shared-cache write to N "
+                             "pool hosts (default: min(2, pool size)) "
+                             "so a dying cache host loses no entries — "
+                             "reads fail over to a replica and revived "
+                             "hosts are backfilled")
     parser.add_argument("--service-timeout", type=float, default=None,
                         metavar="SECONDS",
                         help="per-attempt socket timeout for service "
@@ -288,6 +307,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         service_batch=args.service_batch,
         generation_dispatch=args.generation_dispatch,
         pipeline=args.pipeline,
+        auto_weights=args.auto_weights,
+        cache_replicas=args.cache_replicas,
     )
     print(report.print_table(boxplots=args.boxplots))
     if args.export:
@@ -316,6 +337,8 @@ def _cmd_collect(args: argparse.Namespace) -> int:
         env_kwargs=factory.env_kwargs,
         timeout_s=args.service_timeout, retries=args.service_retries,
         batch=args.service_batch,
+        auto_weights=args.auto_weights,
+        cache_replicas=args.cache_replicas,
     )
     tasks = [
         TrialTask(
@@ -325,6 +348,7 @@ def _cmd_collect(args: argparse.Namespace) -> int:
             collect=True, cache=False if args.no_cache else None,
             shared_cache_dir=shared_cache_dir,
             backend=backend, server_cache_url=server_cache_url,
+            cache_replicas=args.cache_replicas,
             generation_dispatch=args.generation_dispatch,
             pipeline=args.pipeline,
         )

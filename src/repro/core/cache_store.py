@@ -154,6 +154,18 @@ class SharedCacheStore:
             self._refresh(shard)
         return sum(len(e) for e in self._entries)
 
+    def keys_encoded(self) -> List[str]:
+        """Sorted encoded keys currently visible (refreshes every
+        shard) — the deterministic enumeration the evaluation
+        service's paginated ``GET /cache`` listing pages through."""
+        for shard in range(self.n_shards):
+            self._refresh(shard)
+        keys: List[str] = []
+        for entries in self._entries:
+            keys.extend(entries)
+        keys.sort()
+        return keys
+
     def __repr__(self) -> str:
         return (
             f"SharedCacheStore(directory={str(self.directory)!r}, "
@@ -246,10 +258,21 @@ class SharedCacheStore:
         self._offsets[shard] += complete
 
 
+class _CacheHost:
+    """One replica host in a :class:`ServerCacheStore` chain."""
+
+    __slots__ = ("client", "alive", "last_error")
+
+    def __init__(self, client: Any) -> None:
+        self.client = client
+        self.alive = True
+        self.last_error: Optional[str] = None
+
+
 class ServerCacheStore:
     """The same ``get``/``put``/``__len__`` contract as
-    :class:`SharedCacheStore`, backed by an evaluation service's
-    ``/cache`` endpoints instead of a shared filesystem.
+    :class:`SharedCacheStore`, backed by the ``/cache`` endpoints of
+    one or more evaluation services instead of a shared filesystem.
 
     Point any number of sweeps — on any number of machines — at one
     service URL and they reuse each other's design points. Entries this
@@ -260,29 +283,49 @@ class ServerCacheStore:
     Parameters
     ----------
     service:
-        Base URL of a running service, or an existing
-        :class:`repro.service.ServiceClient` to reuse its
+        Base URL of a running service (the chain's primary), or an
+        existing :class:`repro.service.ServiceClient` to reuse its
         retry/timeout policy.
     fallbacks:
-        Base URLs of further pool hosts to re-bind to — in order —
-        when the current cache host's *transport* dies (connection
-        refused/reset, timeout, torn body, each after the client's own
-        retry policy). The failed operation is transparently re-run on
-        the next host, so a sweep keeps its shared tier (the new
-        host's ``/cache`` map, plus this process's local memo) instead
-        of failing. Deterministic server errors are not failover
-        events and propagate immediately.
+        Base URLs of further pool hosts forming the replica chain
+        behind the primary. URLs are normalized through
+        ``ServiceClient.base_url`` and deduplicated (against the
+        primary and each other) preserving order, so a trailing-slash
+        variant or a repeated URL never becomes a second probe of the
+        same dead host.
+    replicas:
+        Write-through replication factor: every ``put`` fans out to
+        the first ``replicas`` *living* hosts of the chain, so the
+        death of any ``replicas - 1`` hosts loses no entries — reads
+        fail over to a surviving replica instead of re-simulating.
+        ``None`` (the default) means ``min(2, chain length)``; larger
+        values are clamped to the chain length. The entries are a
+        deterministic memo (last-writer-wins, every copy identical),
+        so the factor is purely a durability knob — it can never
+        change results.
     client_kwargs:
         ``timeout_s`` / ``retries`` / ``backoff_s`` when ``service`` is
-        a URL. Fallback clients inherit the active client's policy.
+        a URL. Fallback clients inherit the primary client's policy.
 
-    Errors surface as :class:`~repro.core.errors.ServiceError` — once
-    the fallback chain is exhausted, an unreachable cache fails the
-    sweep loudly rather than silently degrading into re-simulation.
+    A host whose *transport* dies (connection refused/reset, timeout,
+    torn body, each after the client's own retry policy) is skipped for
+    the rest of this store's life; reads fall through to the next
+    living replica and writes keep fanning out to the survivors.
+    Deterministic server errors are not failover events and propagate
+    immediately. When the whole chain looks dead, every host gets one
+    optimistic second chance per operation (a restarted server
+    rejoins); only if that also fails does the operation raise
+    :class:`~repro.core.errors.ServiceTransportError` — an unreachable
+    cache fails the sweep loudly rather than silently degrading into
+    re-simulation.
     """
 
     def __init__(
-        self, service: Any, fallbacks: Sequence[str] = (), **client_kwargs: Any
+        self,
+        service: Any,
+        fallbacks: Sequence[str] = (),
+        replicas: Optional[int] = None,
+        **client_kwargs: Any,
     ) -> None:
         # Imported lazily: core must stay importable without the
         # service package participating in any cycle.
@@ -295,65 +338,155 @@ class ServerCacheStore:
                     "ServiceClient — its policy would silently win; set "
                     f"the policy on the client instead ({sorted(client_kwargs)})"
                 )
-            self._client = service
+            primary = service
         else:
-            self._client = ServiceClient(str(service), **client_kwargs)
-        self._fallbacks: List[str] = [
-            url for url in fallbacks
-            if url.rstrip("/") != self._client.base_url
-        ]
+            primary = ServiceClient(str(service), **client_kwargs)
+        # The replica chain: primary first, then the deduplicated
+        # fallbacks. Clients are built eagerly — construction opens no
+        # sockets and gives every URL its canonical base_url identity.
+        self._hosts: List[_CacheHost] = [_CacheHost(primary)]
+        seen = {primary.base_url}
+        for url in fallbacks:
+            client = ServiceClient(
+                str(url),
+                timeout_s=primary.timeout_s,
+                retries=primary.retries,
+                backoff_s=primary.backoff_s,
+                backoff_cap_s=primary.backoff_cap_s,
+            )
+            if client.base_url in seen:
+                continue
+            seen.add(client.base_url)
+            self._hosts.append(_CacheHost(client))
+        if replicas is None:
+            replicas = min(2, len(self._hosts))
+        if not isinstance(replicas, int) or isinstance(replicas, bool) or replicas < 1:
+            raise CacheStoreError(
+                f"replicas must be an integer >= 1, got {replicas!r}"
+            )
+        self._replicas = min(replicas, len(self._hosts))
         self._local: Dict[str, Dict[str, float]] = {}
 
-    def _advance(self) -> bool:
-        """Re-bind to the next fallback host; False when none remain."""
-        from repro.service.client import ServiceClient
+    # -- introspection ------------------------------------------------------------
 
-        if not self._fallbacks:
-            return False
-        old = self._client
-        self._client = ServiceClient(
-            self._fallbacks.pop(0),
-            timeout_s=old.timeout_s,
-            retries=old.retries,
-            backoff_s=old.backoff_s,
-            backoff_cap_s=old.backoff_cap_s,
+    @property
+    def replica_urls(self) -> List[str]:
+        """The normalized, deduplicated host chain (primary first)."""
+        return [h.client.base_url for h in self._hosts]
+
+    @property
+    def replicas(self) -> int:
+        """Effective write-through replication factor."""
+        return self._replicas
+
+    # -- internals ----------------------------------------------------------------
+
+    @staticmethod
+    def _clean(metrics: Dict[str, Any]) -> Dict[str, float]:
+        """The one metrics normalizer both :meth:`get` and :meth:`put`
+        memoize through, so a ``put`` of an equal-but-int-valued dict
+        short-circuits against a previously fetched entry."""
+        return {str(k): float(v) for k, v in metrics.items()}
+
+    def _quarantine(self, host: _CacheHost, exc: BaseException) -> None:
+        host.alive = False
+        host.last_error = str(exc)
+
+    def _revive_all(self) -> bool:
+        """Optimistically un-quarantine every dead host — the one
+        second chance per operation when the whole chain looks dead
+        (a restarted server rejoins). False if nothing was dead."""
+        flipped = False
+        for host in self._hosts:
+            if not host.alive:
+                host.alive = True
+                flipped = True
+        return flipped
+
+    def _inventory(self) -> str:
+        return "; ".join(
+            f"{h.client.base_url}: {h.last_error or 'ok'}" for h in self._hosts
         )
-        return True
 
     def _call(self, op: str, *args: Any) -> Any:
-        """One cache operation, failing over on transport death."""
+        """Run one read operation on the first living replica, falling
+        through the chain on transport death."""
+        revived = False
         while True:
+            host = next((h for h in self._hosts if h.alive), None)
+            if host is None:
+                if not revived and self._revive_all():
+                    revived = True
+                    continue
+                raise ServiceTransportError(
+                    f"shared-cache {op} failed on every replica host: "
+                    f"{self._inventory()}"
+                )
             try:
-                return getattr(self._client, op)(*args)
-            except ServiceTransportError:
-                if not self._advance():
-                    raise
+                return getattr(host.client, op)(*args)
+            except ServiceTransportError as exc:
+                self._quarantine(host, exc)
+
+    def _try_put(self, key_str: str, clean: Dict[str, float]) -> int:
+        """Write-through to the first ``replicas`` living hosts;
+        returns how many copies landed (dead hosts are skipped and the
+        fan-out continues down the chain to keep the count)."""
+        written = 0
+        for host in self._hosts:
+            if written >= self._replicas:
+                break
+            if not host.alive:
+                continue
+            try:
+                host.client.cache_put(key_str, clean)
+                written += 1
+            except ServiceTransportError as exc:
+                self._quarantine(host, exc)
+        return written
+
+    # -- public API ---------------------------------------------------------------
 
     def get(self, key: ActionKey) -> Optional[Dict[str, float]]:
-        """Metrics for ``key``, or ``None`` (asks the server on a local
-        miss, so entries written by other machines become visible)."""
+        """Metrics for ``key``, or ``None`` (asks the chain on a local
+        miss, so entries written by other machines become visible). A
+        replica whose transport dies mid-read is skipped and the next
+        one answers — its entries were replicated, not abandoned."""
         key_str = encode_key(key)
         found = self._local.get(key_str)
         if found is None:
             found = self._call("cache_get", key_str)
             if found is not None:
+                found = self._clean(found)
                 self._local[key_str] = found
         return dict(found) if found is not None else None
 
     def put(self, key: ActionKey, metrics: Dict[str, float]) -> None:
-        """Store one entry (idempotent: a key this process already
-        holds *with the same metrics* is not re-sent; a changed value
-        is — the server map is last-writer-wins)."""
+        """Store one entry on ``replicas`` hosts (idempotent: a key
+        this process already holds *with the same metrics* is not
+        re-sent; a changed value is — the server maps are
+        last-writer-wins). Succeeds as long as at least one copy
+        lands; fewer than ``replicas`` survivors degrade durability,
+        not correctness."""
         key_str = encode_key(key)
-        clean = {k: float(v) for k, v in metrics.items()}
+        clean = self._clean(metrics)
         if self._local.get(key_str) == clean:
             return
-        self._call("cache_put", key_str, clean)
+        written = self._try_put(key_str, clean)
+        if not written and self._revive_all():
+            written = self._try_put(key_str, clean)
+        if not written:
+            raise ServiceTransportError(
+                f"shared-cache put failed on every replica host: "
+                f"{self._inventory()}"
+            )
         self._local[key_str] = clean
 
     def __len__(self) -> int:
-        """Distinct keys currently held by the server."""
+        """Distinct keys held by the first living replica."""
         return self._call("cache_size")
 
     def __repr__(self) -> str:
-        return f"ServerCacheStore(url={self._client.base_url!r})"
+        return (
+            f"ServerCacheStore(urls={self.replica_urls!r}, "
+            f"replicas={self._replicas})"
+        )

@@ -355,6 +355,41 @@ class ServiceClient:
         """Distinct keys currently held by the server cache."""
         return int(self._checked("GET", "/cache").get("size", 0))
 
+    def cache_list(
+        self, offset: int = 0, limit: int = 500
+    ) -> Tuple[List[Tuple[str, Dict[str, float]]], int]:
+        """One page of the server cache in sorted-key order.
+
+        Returns ``(entries, total)`` where ``entries`` is a list of
+        ``(key_str, metrics)`` pairs starting at ``offset`` and
+        ``total`` is the map's full entry count — advance ``offset``
+        by each page's length until it reaches ``total`` to walk the
+        whole map (what the host pool's anti-entropy backfill does).
+        """
+        parsed = self._checked(
+            "GET", f"/cache?offset={int(offset)}&limit={int(limit)}"
+        )
+        raw_entries = parsed.get("entries")
+        if not isinstance(raw_entries, list):
+            raise ServiceError(
+                f"cache listing response has no entries list: {parsed!r}"
+            )
+        entries: List[Tuple[str, Dict[str, float]]] = []
+        for i, item in enumerate(raw_entries):
+            if (
+                not isinstance(item, (list, tuple))
+                or len(item) != 2
+                or not isinstance(item[1], dict)
+            ):
+                raise ServiceError(
+                    f"cache listing entry {i} is not a [key, metrics] "
+                    f"pair: {item!r}"
+                )
+            entries.append(
+                (str(item[0]), {str(k): float(v) for k, v in item[1].items()})
+            )
+        return entries, int(parsed.get("size", 0))
+
     def __repr__(self) -> str:
         return (
             f"ServiceClient(base_url={self.base_url!r}, "

@@ -55,6 +55,11 @@ class RemoteBackend:
         a sequence of URLs — forwarded to the
         :class:`~repro.sweeps.hostpool.HostPool` so least-load
         dispatch and generation scatter divide work accordingly.
+    auto_weights:
+        Let a multi-host pool self-tune those weights from each host's
+        observed service rate (``/healthz`` counters, EWMA-smoothed) —
+        see :class:`~repro.sweeps.hostpool.HostPool`. Ignored for a
+        single URL, where there is nothing to balance.
     client_kwargs:
         ``timeout_s`` / ``retries`` / ``backoff_s`` when ``service`` is
         a URL or a sequence of URLs.
@@ -66,6 +71,7 @@ class RemoteBackend:
         env_kwargs: Optional[Dict[str, Any]] = None,
         batch: bool = False,
         weights: Optional[Sequence[float]] = None,
+        auto_weights: bool = False,
         **client_kwargs: Any,
     ) -> None:
         if isinstance(service, str):
@@ -79,7 +85,10 @@ class RemoteBackend:
                 # without pulling in the whole sweeps package.
                 from repro.sweeps.hostpool import HostPool
 
-                self.client = HostPool(urls, weights=weights, **client_kwargs)
+                self.client = HostPool(
+                    urls, weights=weights, auto_weights=auto_weights,
+                    **client_kwargs,
+                )
         else:  # a ready-made ServiceClient or HostPool: policy is theirs
             self.client = service
         self.env_kwargs = dict(env_kwargs) if env_kwargs else None

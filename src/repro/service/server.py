@@ -35,9 +35,14 @@ separate process — or on a separate machine — behind three endpoints:
     :class:`~repro.core.cache_store.SharedCacheStore` (and the backing
     for its drop-in variant ``ServerCacheStore``). ``<token>`` is the
     urlsafe-base64 form of the encoded key (see
-    :mod:`repro.service.wire`); ``GET /cache`` reports the entry count.
-    With ``cache_dir`` the map is durably file-backed (a
-    ``SharedCacheStore`` the server owns); otherwise it is in-memory.
+    :mod:`repro.service.wire`); ``GET /cache`` reports the entry
+    count, and ``GET /cache?offset=N&limit=M`` pages through the whole
+    map in sorted-key order (``{"size": total, "entries": [[key,
+    metrics], ...]}``) — the listing the
+    :class:`~repro.sweeps.hostpool.HostPool` anti-entropy backfill
+    replays into a revived replica. With ``cache_dir`` the map is
+    durably file-backed (a ``SharedCacheStore`` the server owns);
+    otherwise it is in-memory.
 
 Everything is stdlib: ``http.server.ThreadingHTTPServer`` + ``json``.
 Server-side failures are reported as JSON ``{"error": ...}`` bodies
@@ -49,20 +54,24 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
+from urllib.parse import urlsplit
 
 from repro.core.cache_store import SharedCacheStore, encode_key
 from repro.core.env import ArchGymEnv, canonical_action_key
 from repro.core.errors import ServiceError
 from repro.service.wire import (
+    DEFAULT_CACHE_PAGE,
     WIRE_FORMAT,
     canonical_dumps,
     clean_metrics,
     dump_body,
     load_body,
     parse_batch_request,
+    parse_cache_query,
     token_to_key,
 )
 
@@ -126,6 +135,11 @@ class EvaluationService:
         #: Batch design points answered from the memo instead of the
         #: cost model.
         self.memo_hits = 0
+        #: Cumulative seconds the cost models spent simulating (memo
+        #: hits cost ~0 and are excluded) — with ``evaluations`` this
+        #: gives observers the host's service *rate*, which is what
+        #: :class:`~repro.sweeps.hostpool.HostPool` auto-weights read.
+        self.busy_s = 0.0
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
         # Live keep-alive sockets: HTTP/1.1 handler threads block on
@@ -200,9 +214,12 @@ class EvaluationService:
         # other instances (or /healthz) behind the global state lock.
         with lock:
             env = self._instance(instance_key, factory, kwargs)
+            t0 = time.perf_counter()
             metrics = env.evaluate(action)
+            busy = time.perf_counter() - t0
         with self._state_lock:  # instance locks differ per (env, kwargs)
             self.evaluations += 1
+            self.busy_s += busy
         return clean_metrics(metrics)
 
     def evaluate_batch(
@@ -253,6 +270,7 @@ class EvaluationService:
                     continue
             pending.append((i, dict(action), key_str))
         evaluated = 0
+        busy = 0.0
         if pending:
             with lock:
                 env = self._instance(instance_key, factory, kwargs)
@@ -260,7 +278,10 @@ class EvaluationService:
                 for i, action, key_str in pending:
                     metrics = fresh.get(key_str) if memoize else None
                     if metrics is None:
-                        metrics = clean_metrics(env.evaluate(action))
+                        t0 = time.perf_counter()
+                        raw = env.evaluate(action)
+                        busy += time.perf_counter() - t0
+                        metrics = clean_metrics(raw)
                         evaluated += 1
                         if memoize:
                             self.cache_put(key_str, metrics)
@@ -272,6 +293,7 @@ class EvaluationService:
             self.evaluations += evaluated
             self.batch_requests += 1
             self.memo_hits += memo_hits
+            self.busy_s += busy
         # results is fully populated: every index either hit the memo
         # or was in pending
         return [r for r in results if r is not None], memo_hits
@@ -297,6 +319,33 @@ class EvaluationService:
                 return len(self._cache_store)
             return len(self._mem_cache)
 
+    def cache_list(
+        self, offset: int = 0, limit: int = DEFAULT_CACHE_PAGE
+    ) -> Tuple[int, List[Tuple[str, Dict[str, float]]]]:
+        """One page of the ``/cache`` map in sorted-key order.
+
+        Returns ``(total_entries, [(key_str, metrics), ...])``. The
+        ordering is deterministic, so a reader advancing ``offset`` by
+        each page's length walks every entry that existed when it
+        started — the map is append-only, so entries never move
+        backwards past a cursor. This is the listing the anti-entropy
+        backfill pages through to rebuild a revived replica.
+        """
+        with self._cache_lock:
+            if self._cache_store is not None:
+                keys = self._cache_store.keys_encoded()
+                page = [
+                    (k, self._cache_store.get_encoded(k))
+                    for k in keys[offset:offset + limit]
+                ]
+            else:
+                keys = sorted(self._mem_cache)
+                page = [
+                    (k, dict(self._mem_cache[k]))
+                    for k in keys[offset:offset + limit]
+                ]
+        return len(keys), [(k, m) for k, m in page if m is not None]
+
     def health(self) -> Dict[str, Any]:
         return {
             "status": "ok",
@@ -305,6 +354,7 @@ class EvaluationService:
             "evaluations": self.evaluations,
             "batch_requests": self.batch_requests,
             "memo_hits": self.memo_hits,
+            "busy_s": self.busy_s,
             "cache_size": self.cache_size(),
         }
 
@@ -531,12 +581,24 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:
         def handle() -> None:
-            if self.path == "/healthz":
+            split = urlsplit(self.path)
+            if split.path == "/healthz":
                 self._reply(200, self.service.health())
-            elif self.path == "/cache":
-                self._reply(200, {"size": self.service.cache_size()})
-            elif self.path.startswith("/cache/"):
-                key_str = token_to_key(self.path[len("/cache/"):])
+            elif split.path == "/cache":
+                if split.query:
+                    offset, limit = parse_cache_query(split.query)
+                    total, page = self.service.cache_list(offset, limit)
+                    self._reply(
+                        200,
+                        {
+                            "size": total,
+                            "entries": [[k, m] for k, m in page],
+                        },
+                    )
+                else:
+                    self._reply(200, {"size": self.service.cache_size()})
+            elif split.path.startswith("/cache/"):
+                key_str = token_to_key(split.path[len("/cache/"):])
                 found = self.service.cache_get(key_str)
                 if found is None:
                     self._reply(404, {"error": "cache miss"})

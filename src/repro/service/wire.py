@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import base64
 import json
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, Mapping, Tuple
+from urllib.parse import parse_qsl
 
 import numpy as np
 
@@ -31,12 +32,15 @@ from repro.core.errors import ServiceError
 
 __all__ = [
     "WIRE_FORMAT",
+    "DEFAULT_CACHE_PAGE",
+    "MAX_CACHE_PAGE",
     "jsonify",
     "canonical_dumps",
     "dump_body",
     "load_body",
     "clean_metrics",
     "parse_batch_request",
+    "parse_cache_query",
     "key_to_token",
     "token_to_key",
 ]
@@ -45,6 +49,12 @@ __all__ = [
 #: Still v1: ``/evaluate_batch`` and keep-alive are strict additions —
 #: every v1 request body remains valid and answered identically.
 WIRE_FORMAT = "archgym-service-v1"
+
+#: Page size ``GET /cache?offset=N`` uses when no ``limit`` is given.
+DEFAULT_CACHE_PAGE = 500
+#: Hard ceiling on one listing page — a reply must stay a bounded
+#: allocation however greedy the requested ``limit`` is.
+MAX_CACHE_PAGE = 5000
 
 
 def jsonify(value: Any) -> Any:
@@ -139,6 +149,40 @@ def parse_batch_request(request: Any) -> tuple:
             f"evaluate_batch 'memoize' must be a boolean: {memoize!r}"
         )
     return str(request["env"]), actions, dict(kwargs or {}), memoize
+
+
+def parse_cache_query(query: str) -> Tuple[int, int]:
+    """Validate a ``GET /cache?offset=N&limit=M`` query string.
+
+    Returns ``(offset, limit)`` with the defaults filled in and the
+    limit clamped to :data:`MAX_CACHE_PAGE`; raises
+    :class:`ServiceError` on unknown parameters or non-integer values
+    — both sides of the listing pagination agree on this shape, like
+    every other schema in this module.
+    """
+    offset, limit = 0, DEFAULT_CACHE_PAGE
+    for name, value in parse_qsl(query, keep_blank_values=True):
+        if name not in ("offset", "limit"):
+            raise ServiceError(
+                f"cache listing got unknown query parameter {name!r} "
+                "(expected 'offset' and/or 'limit')"
+            )
+        try:
+            number = int(value)
+        except ValueError as exc:
+            raise ServiceError(
+                f"cache listing parameter {name}={value!r} is not an "
+                "integer"
+            ) from exc
+        if name == "offset":
+            offset = number
+        else:
+            limit = number
+    if offset < 0:
+        raise ServiceError(f"cache listing offset must be >= 0, got {offset}")
+    if limit < 1:
+        raise ServiceError(f"cache listing limit must be >= 1, got {limit}")
+    return offset, min(limit, MAX_CACHE_PAGE)
 
 
 def key_to_token(key_str: str) -> str:

@@ -108,6 +108,10 @@ class BackendSpec:
     #: Per-host capacity weights aligned with ``service_urls``
     #: (``None`` = all hosts weigh 1).
     service_weights: Optional[Tuple[float, ...]] = None
+    #: Let a multi-host pool self-tune those weights from observed
+    #: per-host service rates (a placement knob — results are
+    #: byte-identical either way).
+    auto_weights: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in ("local", "remote"):
@@ -155,6 +159,7 @@ class BackendSpec:
             weights=(
                 list(self.service_weights) if self.service_weights else None
             ),
+            auto_weights=self.auto_weights,
             timeout_s=self.timeout_s,
             retries=self.retries,
         )
@@ -179,6 +184,7 @@ def _backend_cache_key(spec: BackendSpec) -> Tuple[Any, ...]:
         spec.service_url,
         spec.service_urls,
         spec.service_weights,
+        spec.auto_weights,
         json.dumps(spec.env_kwargs, sort_keys=True, default=str)
         if spec.env_kwargs
         else None,
@@ -224,6 +230,8 @@ def resolve_execution_backend(
     timeout_s: Optional[float] = None,
     retries: Optional[int] = None,
     batch: bool = False,
+    auto_weights: bool = False,
+    cache_replicas: Optional[int] = None,
 ) -> Tuple[Optional[BackendSpec], Optional[str], Optional[str]]:
     """Derive a task batch's ``(backend, server_cache_url,
     shared_cache_dir)`` from the user-facing execution knobs.
@@ -236,10 +244,34 @@ def resolve_execution_backend(
     (default 1; see :func:`parse_weighted_url`) — yields a remote
     :class:`BackendSpec` (with any ``timeout_s``/``retries``
     overrides; ``None`` keeps the spec defaults, ``batch`` routes
-    through ``/evaluate_batch``); ``shared_cache`` prefers the
+    through ``/evaluate_batch``, ``auto_weights`` lets a multi-host
+    pool self-tune its dispatch weights); ``shared_cache`` prefers the
     service's ``/cache`` store (cross-machine; the *first* host's, so
-    every trial reads one map) over a file store under ``out_dir``.
+    every trial reads one map — with writes replicated to
+    ``cache_replicas`` pool hosts, see
+    :class:`~repro.core.cache_store.ServerCacheStore`) over a file
+    store under ``out_dir``.
     """
+    if auto_weights and service_url is None:
+        raise ExecutorError(
+            "auto-weights (--auto-weights / auto_weights=True) tunes a "
+            "remote host pool's dispatch weights and therefore requires "
+            "a service_url"
+        )
+    if cache_replicas is not None:
+        if not isinstance(cache_replicas, int) or isinstance(
+            cache_replicas, bool
+        ) or cache_replicas < 1:
+            raise ExecutorError(
+                f"cache_replicas must be a positive integer, got "
+                f"{cache_replicas!r}"
+            )
+        if not shared_cache or service_url is None:
+            raise ExecutorError(
+                "cache_replicas (--cache-replicas) configures the "
+                "server-backed shared cache tier and therefore requires "
+                "shared_cache=True with a service_url"
+            )
     urls: Optional[Tuple[str, ...]] = None
     weights: Optional[Tuple[float, ...]] = None
     if service_url is not None:
@@ -279,6 +311,7 @@ def resolve_execution_backend(
             service_url=urls[0],
             service_urls=urls,
             service_weights=weights,
+            auto_weights=auto_weights,
             env_kwargs=env_kwargs,
             batch=batch,
             **overrides,
@@ -327,6 +360,11 @@ class TrialTask:
     #: the cross-*machine* sibling of ``shared_cache_dir``, which
     #: takes precedence if both are set.
     server_cache_url: Optional[str] = None
+    #: Replication factor of that server-backed tier: every ``put``
+    #: fans out to this many pool hosts (``None`` = the store default,
+    #: min(2, pool size)). A durability knob — reuse is deterministic
+    #: either way — so it stays out of the durable-sweep fingerprint.
+    cache_replicas: Optional[int] = None
     #: Drive the trial through the generation-native protocol
     #: (``propose_batch``/``step_batch``/``observe_batch``): whole
     #: GA/ACO generations per backend round trip instead of one design
@@ -393,31 +431,34 @@ def run_trial(task: TrialTask) -> TrialOutcome:
             # same single service; a multi-host pool — or a task with
             # no remote backend — gets a dedicated client pointed at
             # the designated cache host, under the task's policy. The
-            # pool's other hosts become the store's failover chain: if
-            # the cache host's transport dies mid-sweep, the shared
-            # tier moves to the next living pool host instead of
-            # failing the trial.
+            # pool's hosts become the store's replica chain (the store
+            # dedupes the primary itself): writes fan out to
+            # ``cache_replicas`` of them, and if the cache host's
+            # transport dies mid-sweep reads fail over to a replica
+            # instead of abandoning its entries.
             cache_url = task.server_cache_url.rstrip("/")
-            fallbacks = tuple(
-                url for url in (task.backend.urls if task.backend else ())
-                if url.rstrip("/") != cache_url
-            )
+            fallbacks = tuple(task.backend.urls) if task.backend else ()
             if (
                 remote is not None
                 and getattr(remote.client, "base_url", None) == cache_url
             ):
-                env.attach_shared_cache(
-                    ServerCacheStore(remote.client, fallbacks=fallbacks)
-                )
+                env.attach_shared_cache(ServerCacheStore(
+                    remote.client,
+                    fallbacks=fallbacks,
+                    replicas=task.cache_replicas,
+                ))
             elif task.backend is not None:
                 env.attach_shared_cache(ServerCacheStore(
                     cache_url,
                     fallbacks=fallbacks,
+                    replicas=task.cache_replicas,
                     timeout_s=task.backend.timeout_s,
                     retries=task.backend.retries,
                 ))
             else:
-                env.attach_shared_cache(ServerCacheStore(cache_url))
+                env.attach_shared_cache(
+                    ServerCacheStore(cache_url, replicas=task.cache_replicas)
+                )
         dataset: Optional[ArchGymDataset] = None
         if task.collect:
             dataset = ArchGymDataset(env.env_id)

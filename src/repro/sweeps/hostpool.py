@@ -68,6 +68,18 @@ from repro.service.client import ServiceClient
 
 __all__ = ["HostPool", "weighted_split"]
 
+#: EWMA smoothing factor for observed per-host service rates: high
+#: enough that a genuinely slow host is demoted within a few refresh
+#: windows, low enough that one noisy window cannot whipsaw the split.
+_AUTO_WEIGHT_ALPHA = 0.4
+#: Floor on the observed-rate multiplier applied to a host's static
+#: weight — the "never starved" clamp: however slow a host measures,
+#: it keeps at least this fraction of its declared capacity, so it
+#: continues to receive (and report on) work and can be promoted back.
+_AUTO_WEIGHT_FLOOR = 0.1
+#: Page size for the anti-entropy cache backfill of a revived host.
+_BACKFILL_PAGE = 200
+
 
 def weighted_split(n: int, weights: Sequence[float]) -> List[int]:
     """Apportion ``n`` items over ``weights`` proportionally.
@@ -79,6 +91,12 @@ def weighted_split(n: int, weights: Sequence[float]) -> List[int]:
     if not weights:
         raise ServiceError("weighted_split needs at least one weight")
     total = float(sum(weights))
+    if total <= 0:
+        # A weight vector derived from *observed* service rates can
+        # legitimately be all zero (a cold fleet with no measurements
+        # yet): split uniformly instead of dividing by zero.
+        weights = [1.0] * len(weights)
+        total = float(len(weights))
     raw = [n * w / total for w in weights]
     counts = [int(r) for r in raw]
     order = sorted(
@@ -94,7 +112,8 @@ class _Host:
 
     __slots__ = (
         "url", "client", "probe_client", "weight", "alive", "inflight",
-        "evals", "last_error", "quarantined_at",
+        "evals", "last_error", "quarantined_at", "auto_weight",
+        "rate_ewma", "seen_evals", "seen_busy_s",
     )
 
     def __init__(
@@ -116,6 +135,16 @@ class _Host:
         self.evals = 0  # design points this host answered
         self.last_error: Optional[str] = None
         self.quarantined_at = 0.0
+        #: Effective dispatch weight: equals ``weight`` until an
+        #: auto-weights refresh blends in the observed service rate.
+        self.auto_weight = weight
+        #: EWMA of the observed service rate (design points per busy
+        #: second, from the host's /healthz counters); None until the
+        #: first measurement window with actual work in it.
+        self.rate_ewma: Optional[float] = None
+        # healthz counter baselines for per-window rate deltas
+        self.seen_evals = 0
+        self.seen_busy_s = 0.0
 
     def __repr__(self) -> str:
         state = "alive" if self.alive else f"quarantined ({self.last_error})"
@@ -151,6 +180,26 @@ class HostPool:
         at most this long, not the rest of the sweep. A failed probe
         restarts the clock. ``0`` probes on every dispatch; ``None``
         disables timed revival (the all-dead revival sweep still runs).
+        A revived host is first *backfilled*: the pool pages a living
+        replica's ``/cache`` map into it (the anti-entropy sweep), so
+        a server that restarted empty rejoins with the fleet's shared
+        entries instead of forcing re-simulation.
+    auto_weights:
+        Self-tune the dispatch weights from observed service rates.
+        Every ``auto_weights_interval_s`` the pool reads each living
+        host's ``/healthz`` counters (``evaluations`` and the server's
+        ``busy_s`` accumulator), computes the per-window service rate
+        (design points per busy second), smooths it with an EWMA, and
+        scales each host's static weight by its rate relative to the
+        fastest host — clamped to a floor so a slow host keeps a
+        trickle of work (and a *cold* host with no measurements keeps
+        its full static weight, never starved). Least-load dispatch
+        and generation scatter then rebalance a heterogeneous fleet
+        automatically. Purely a placement knob: evaluations are
+        deterministic, so results are byte-identical either way.
+    auto_weights_interval_s:
+        Seconds between auto-weight refreshes (``0`` refreshes on
+        every dispatch — useful in tests and microbenchmarks).
 
     Thread-safe: the parallel executor may drive one pool from many
     threads; host selection and in-flight accounting sit under one
@@ -165,6 +214,8 @@ class HostPool:
         backoff_s: float = 0.05,
         revive_after_s: Optional[float] = 30.0,
         weights: Optional[Sequence[float]] = None,
+        auto_weights: bool = False,
+        auto_weights_interval_s: float = 5.0,
     ) -> None:
         if isinstance(urls, str):  # a lone URL is a 1-host pool
             urls = (urls,)
@@ -208,6 +259,14 @@ class HostPool:
             )
             self._hosts.append(_Host(url, client, probe, weight=float(weight)))
         self.revive_after_s = revive_after_s
+        if auto_weights_interval_s < 0:
+            raise ServiceError(
+                f"auto_weights_interval_s must be >= 0, got "
+                f"{auto_weights_interval_s}"
+            )
+        self.auto_weights = auto_weights
+        self.auto_weights_interval_s = auto_weights_interval_s
+        self._weights_refreshed_at = float("-inf")
         self._lock = threading.Lock()
         self._local = threading.local()
         self._next = 0  # round-robin cursor for load ties
@@ -218,6 +277,12 @@ class HostPool:
         self.stream_units = 0
         self.stream_steals = 0
         self.stream_duplicates = 0
+        #: Auto-weight refreshes that actually recomputed the
+        #: effective weights (at least one host had rate data).
+        self.auto_weight_updates = 0
+        #: Cache entries copied into revived hosts by the
+        #: anti-entropy backfill.
+        self.cache_backfills = 0
 
     # -- introspection ------------------------------------------------------------
 
@@ -243,8 +308,17 @@ class HostPool:
 
     @property
     def weights_by_host(self) -> Dict[str, float]:
-        """Capacity weight per host (dispatch divides load by these)."""
+        """Static capacity weight per host (the declared ``=WEIGHT``)."""
         return {h.url: h.weight for h in self._hosts}
+
+    @property
+    def effective_weights_by_host(self) -> Dict[str, float]:
+        """The weights dispatch actually uses right now: the static
+        weights, scaled by observed service rates when
+        ``auto_weights`` is on (identical to :attr:`weights_by_host`
+        until the first refresh with rate data)."""
+        with self._lock:
+            return {h.url: h.auto_weight for h in self._hosts}
 
     @property
     def last_host(self) -> Optional[str]:
@@ -265,12 +339,17 @@ class HostPool:
         any survivor can still run the sweep."""
         report: Dict[str, Optional[Dict[str, Any]]] = {}
         for host in self._hosts:
+            with self._lock:
+                was_dead = not host.alive
             try:
                 report[host.url] = host.client.healthz()
-                self._mark(host, alive=True)
             except ServiceError as exc:
                 report[host.url] = None
                 self._mark(host, alive=False, error=str(exc))
+                continue
+            if was_dead:
+                self._backfill_cache(host)
+            self._mark(host, alive=True)
         if not any(v is not None for v in report.values()):
             raise ServiceError(
                 f"no evaluation host is healthy: {self._error_inventory()}"
@@ -309,6 +388,7 @@ class HostPool:
                 host.probe_client.healthz()
             except ServiceError:
                 continue
+            self._backfill_cache(host)
             self._mark(host, alive=True)
 
     def _error_inventory(self) -> str:
@@ -330,19 +410,113 @@ class HostPool:
                 host.probe_client.healthz()
             except ServiceError:
                 continue
+            self._backfill_cache(host)
             self._mark(host, alive=True)
             revived += 1
         return revived
+
+    def _backfill_cache(self, revived: _Host) -> None:
+        """Anti-entropy: page a living replica's cache into ``revived``.
+
+        A host that restarted rejoins with an empty in-memory cache;
+        its replicas still hold every entry the shared cache tier
+        wrote through. Before the revived host takes traffic again,
+        copy one live donor's ``GET /cache`` listing into it page by
+        page, so none of its lost entries ever forces a re-simulation.
+        Best-effort: if the donor (or the revived host) dies mid-copy
+        the partial progress is kept and the next donor — or the next
+        revival — continues; reads fall back to replicas meanwhile.
+        """
+        with self._lock:
+            donors = [h for h in self._hosts if h.alive and h is not revived]
+        for donor in donors:
+            copied = 0
+            offset = 0
+            try:
+                while True:
+                    entries, total = donor.probe_client.cache_list(
+                        offset=offset, limit=_BACKFILL_PAGE
+                    )
+                    for key_str, metrics in entries:
+                        revived.probe_client.cache_put(key_str, metrics)
+                        copied += 1
+                    offset += len(entries)
+                    if not entries or offset >= total:
+                        break
+            except ServiceError:
+                with self._lock:
+                    self.cache_backfills += copied
+                continue  # partial copy kept; try the next donor
+            with self._lock:
+                self.cache_backfills += copied
+            return
+
+    def _refresh_auto_weights(self) -> None:
+        """Blend observed service rates into the dispatch weights.
+
+        Reads each living host's ``/healthz`` counters through the
+        cheap probe client, turns the counter deltas since the last
+        refresh into a per-window service rate (evaluations per busy
+        second), smooths it with an EWMA, and scales each host's
+        static weight by its rate relative to the fastest host. The
+        ratio is clamped to ``_AUTO_WEIGHT_FLOOR`` so a slow host
+        keeps a trickle of work (and can be promoted back when it
+        speeds up); a *cold* host with no measurements keeps its full
+        static weight — never starved by missing data.
+        """
+        if not self.auto_weights:
+            return
+        now = time.monotonic()
+        with self._lock:
+            if now - self._weights_refreshed_at < self.auto_weights_interval_s:
+                return
+            self._weights_refreshed_at = now  # claim this refresh slot
+            living = [h for h in self._hosts if h.alive]
+        for host in living:
+            try:
+                health = host.probe_client.healthz()
+            except ServiceError:
+                continue  # quarantining is the dispatch path's call
+            evals = int(health.get("evaluations", 0))
+            busy = float(health.get("busy_s", 0.0))
+            with self._lock:
+                d_evals = evals - host.seen_evals
+                d_busy = busy - host.seen_busy_s
+                host.seen_evals = evals
+                host.seen_busy_s = busy
+                if d_evals > 0 and d_busy > 0:
+                    rate = d_evals / d_busy
+                    host.rate_ewma = (
+                        rate if host.rate_ewma is None
+                        else _AUTO_WEIGHT_ALPHA * rate
+                        + (1.0 - _AUTO_WEIGHT_ALPHA) * host.rate_ewma
+                    )
+        with self._lock:
+            rated = [
+                h.rate_ewma for h in self._hosts if h.rate_ewma is not None
+            ]
+            if not rated:
+                return
+            top = max(rated)
+            for host in self._hosts:
+                if host.rate_ewma is None or top <= 0:
+                    host.auto_weight = host.weight
+                else:
+                    host.auto_weight = host.weight * max(
+                        host.rate_ewma / top, _AUTO_WEIGHT_FLOOR
+                    )
+            self.auto_weight_updates += 1
 
     # -- dispatch -----------------------------------------------------------------
 
     def _acquire(self) -> Optional[_Host]:
         """Least-loaded living host (in-flight count bumped), or None.
 
-        Load is in-flight requests *divided by capacity weight*, so a
-        weight-2 host is only "as busy" as a weight-1 host carrying
-        half its requests. Load ties break round-robin, not by
-        position: a serial caller (whose in-flight count is always
+        Load is in-flight requests *divided by effective capacity
+        weight* (the static weight, rate-scaled when auto-weights is
+        on), so a weight-2 host is only "as busy" as a weight-1 host
+        carrying half its requests. Load ties break round-robin, not
+        by position: a serial caller (whose in-flight count is always
         zero at dispatch time) must still spread its requests over the
         whole fleet instead of pinning the first host.
         """
@@ -355,7 +529,7 @@ class HostPool:
             index, host = min(
                 living,
                 key=lambda ih: (
-                    ih[1].inflight / ih[1].weight, (ih[0] - start) % n
+                    ih[1].inflight / ih[1].auto_weight, (ih[0] - start) % n
                 ),
             )
             self._next = index + 1
@@ -372,6 +546,7 @@ class HostPool:
         """Run ``op`` on the least-loaded host, failing over on
         transport death; at most one all-dead revival sweep per call."""
         self._timed_revival()
+        self._refresh_auto_weights()
         revived_once = False
         while True:
             host = self._acquire()
@@ -474,10 +649,13 @@ class HostPool:
         if not actions:
             return [], []
         self._timed_revival()
+        self._refresh_auto_weights()
         with self._lock:
             alive = [h for h in self._hosts if h.alive]
         if len(alive) > 1:
-            counts = weighted_split(len(actions), [h.weight for h in alive])
+            counts = weighted_split(
+                len(actions), [h.auto_weight for h in alive]
+            )
             chunks: List[Tuple[_Host, List[Dict[str, Any]]]] = []
             cursor = 0
             for host, count in zip(alive, counts):
@@ -599,6 +777,7 @@ class HostPool:
         if not actions:
             return
         self._timed_revival()
+        self._refresh_auto_weights()
         with self._lock:
             alive = [h for h in self._hosts if h.alive]
         if unit_size is None:

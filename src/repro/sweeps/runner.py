@@ -288,6 +288,8 @@ def run_lottery_sweep(
     service_batch: bool = False,
     generation_dispatch: bool = False,
     pipeline: bool = False,
+    auto_weights: bool = False,
+    cache_replicas: Optional[int] = None,
 ) -> SweepReport:
     """Run the hyperparameter-lottery experiment.
 
@@ -412,6 +414,20 @@ def run_lottery_sweep(
         request drains. Another pure wall-clock knob — byte-identical
         reports, datasets, and shards — outside the durable-sweep
         fingerprint.
+    auto_weights:
+        Let a multi-host pool self-tune its dispatch weights from each
+        host's observed service rate (``/healthz`` counters,
+        EWMA-smoothed, clamped so no host starves) — heterogeneous
+        fleets rebalance automatically. Requires ``service_url``. A
+        placement knob: results are byte-identical either way, so it
+        stays outside the durable-sweep fingerprint.
+    cache_replicas:
+        Replication factor of the server-backed shared cache tier:
+        every ``put`` fans out to this many pool hosts (default
+        min(2, pool size)), so a dying cache host costs nothing — reads
+        fail over to a replica and revived hosts are backfilled.
+        Requires ``shared_cache=True`` with ``service_url``. A
+        durability knob, outside the durable-sweep fingerprint.
     """
     if n_trials < 1 or n_samples < 1:
         raise ArchGymError("n_trials and n_samples must be >= 1")
@@ -437,6 +453,8 @@ def run_lottery_sweep(
         timeout_s=service_timeout_s,
         retries=service_retries,
         batch=service_batch,
+        auto_weights=auto_weights,
+        cache_replicas=cache_replicas,
     )
 
     # Draw every trial's lottery ticket in the same order the serial
@@ -459,6 +477,7 @@ def run_lottery_sweep(
                     shared_cache_dir=shared_cache_dir,
                     backend=backend,
                     server_cache_url=server_cache_url,
+                    cache_replicas=cache_replicas,
                     generation_dispatch=generation_dispatch,
                     pipeline=pipeline,
                 )

@@ -85,6 +85,8 @@ FINGERPRINT_EXEMPT = {
     "service_timeout": "client transport policy",
     "service_retries": "client transport policy",
     "server_cache_url": "server-side memo tier; deterministic reuse only",
+    "cache_replicas": "shared-cache write-through fan-out; deterministic reuse only",
+    "auto_weights": "observed-rate host weighting; dispatch placement only",
     "generation_dispatch": "batched generation transport, same results",
     "pipeline": "streaming dispatch with stealing, same results",
     "out_dir": "names the shard directory itself",

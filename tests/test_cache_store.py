@@ -315,7 +315,7 @@ class TestServerStoreSpecifics:
 
         client = ServiceClient("http://127.0.0.1:1", timeout_s=1.0, retries=0)
         store = ServerCacheStore(client)
-        assert store._client is client
+        assert store._hosts[0].client is client
 
     def test_client_with_policy_kwargs_rejected(self):
         """Kwargs alongside a ready-made client would be silently
@@ -325,6 +325,135 @@ class TestServerStoreSpecifics:
         client = ServiceClient("http://127.0.0.1:1", timeout_s=1.0, retries=0)
         with pytest.raises(CacheStoreError, match="client_kwargs"):
             ServerCacheStore(client, timeout_s=5.0)
+
+
+class TestServerStoreReplication:
+    """Write-through fan-out and read fail-over across the chain."""
+
+    def test_default_replication_factor_is_min_two(self):
+        solo = ServerCacheStore("http://127.0.0.1:1", timeout_s=1.0, retries=0)
+        assert solo.replicas == 1
+        trio = ServerCacheStore(
+            "http://127.0.0.1:1",
+            fallbacks=("http://127.0.0.1:2", "http://127.0.0.1:3"),
+            timeout_s=1.0, retries=0,
+        )
+        assert trio.replicas == 2
+
+    def test_replication_factor_clamped_to_chain_length(self):
+        store = ServerCacheStore(
+            "http://127.0.0.1:1", fallbacks=("http://127.0.0.1:2",),
+            replicas=5, timeout_s=1.0, retries=0,
+        )
+        assert store.replicas == 2
+
+    def test_bad_replication_factor_rejected(self):
+        for bad in (0, -1, True, 1.5, "2"):
+            with pytest.raises(CacheStoreError, match="replicas"):
+                ServerCacheStore(
+                    "http://127.0.0.1:1", replicas=bad,
+                    timeout_s=1.0, retries=0,
+                )
+
+    def test_fallback_urls_normalized_and_deduped(self):
+        """Regression: a trailing-slash variant or repeated fallback
+        URL used to stay in the chain, so one dead host was probed
+        once per duplicate before advancing."""
+        store = ServerCacheStore(
+            "http://127.0.0.1:1",
+            fallbacks=(
+                "http://127.0.0.1:1/",  # the primary, slash variant
+                "http://127.0.0.1:2",
+                "http://127.0.0.1:2/",  # slash-variant duplicate
+                "http://127.0.0.1:2",   # exact duplicate
+                "http://127.0.0.1:3",
+            ),
+            timeout_s=1.0, retries=0,
+        )
+        assert store.replica_urls == [
+            "http://127.0.0.1:1",
+            "http://127.0.0.1:2",
+            "http://127.0.0.1:3",
+        ]
+
+    def test_put_fans_out_to_replicas(self):
+        with EvaluationService() as a, EvaluationService() as b:
+            store = ServerCacheStore(
+                a.url, fallbacks=(b.url,), timeout_s=10.0, retries=0
+            )
+            for i in range(3):
+                store.put(_key(i), {"cost": float(i)})
+            assert a.cache_size() == 3
+            assert b.cache_size() == 3
+
+    def test_replication_factor_one_writes_primary_only(self):
+        with EvaluationService() as a, EvaluationService() as b:
+            store = ServerCacheStore(
+                a.url, fallbacks=(b.url,), replicas=1,
+                timeout_s=10.0, retries=0,
+            )
+            store.put(_key(1), {"cost": 1.0})
+            assert a.cache_size() == 1
+            assert b.cache_size() == 0
+
+    def test_read_fails_over_to_replica_after_primary_death(self):
+        """The entries of a dead cache host are *not* lost: a reader
+        that never saw them finds every replicated entry on the next
+        living host."""
+        a = EvaluationService()
+        a.start()
+        try:
+            with EvaluationService() as b:
+                writer = ServerCacheStore(
+                    a.url, fallbacks=(b.url,),
+                    timeout_s=2.0, retries=0, backoff_s=0.01,
+                )
+                writer.put(_key(1), {"cost": 1.0})
+                writer.put(_key(2), {"cost": 2.0})
+                reader = ServerCacheStore(
+                    a.url, fallbacks=(b.url,),
+                    timeout_s=2.0, retries=0, backoff_s=0.01,
+                )
+                a.stop()
+                assert reader.get(_key(1)) == {"cost": 1.0}
+                assert reader.get(_key(2)) == {"cost": 2.0}
+                assert len(reader) == 2
+        finally:
+            a.stop()
+
+    def test_exhausted_chain_raises_transport_error(self):
+        import socket
+
+        ports = []
+        for _ in range(2):
+            with socket.socket() as s:
+                s.bind(("127.0.0.1", 0))
+                ports.append(s.getsockname()[1])
+        store = ServerCacheStore(
+            f"http://127.0.0.1:{ports[0]}",
+            fallbacks=(f"http://127.0.0.1:{ports[1]}",),
+            timeout_s=1.0, retries=0, backoff_s=0.01,
+        )
+        with pytest.raises(ServiceError):
+            store.get(_key(1))
+        with pytest.raises(ServiceError):
+            store.put(_key(1), {"cost": 1.0})
+
+    def test_get_and_put_memoize_through_one_cleaner(self):
+        """Regression: ``get`` used to memoize the server's dict
+        un-normalized while ``put`` memoized a cleaned copy, so a
+        later put of an equal-but-int-valued dict re-sent the entry.
+        Both paths now share one ``{k: float(v)}`` cleaner and the
+        re-put short-circuits."""
+        with EvaluationService() as svc:
+            ServerCacheStore(svc.url, timeout_s=10.0, retries=0).put(
+                _key(5), {"cost": 2.0}
+            )
+            reader = ServerCacheStore(svc.url, timeout_s=10.0, retries=0)
+            assert reader.get(_key(5)) == {"cost": 2.0}
+            sent_before = reader._hosts[0].client.requests_sent
+            reader.put(_key(5), {"cost": 2})  # int-valued, equal cleaned
+            assert reader._hosts[0].client.requests_sent == sent_before
 
 
 class TestKeyEncoding:

@@ -449,6 +449,14 @@ class TestWeightedSplit:
     def test_single_weight_takes_all(self):
         assert weighted_split(7, [5.0]) == [7]
 
+    def test_all_zero_weights_fall_back_to_uniform(self):
+        """An observed-rate weight vector can legitimately be all zero
+        (cold fleet, no measurements yet) — that must split uniformly,
+        not raise ZeroDivisionError."""
+        assert weighted_split(6, [0.0, 0.0, 0.0]) == [2, 2, 2]
+        assert weighted_split(7, [0.0, 0.0]) == [4, 3]
+        assert sum(weighted_split(0, [0.0])) == 0
+
 
 class TestWeightedHostPool:
     def test_weights_validated(self):
@@ -578,16 +586,17 @@ class TestServerCacheFailover:
             backoff_s=0.01,
         )
         key_known = (("m", "a"), ("x", 1))
-        store.put(key_known, {"cost": 4.3})
+        store.put(key_known, {"cost": 4.3})  # replicated to A and B
         a.stop()
         # a *new* key forces network traffic: the dead host must be
         # replaced by the fallback instead of failing the sweep
         key_new = (("m", "b"), ("x", 2))
-        assert store.get(key_new) is None  # B's map: empty, not an error
+        assert store.get(key_new) is None  # B's map: a miss, not an error
         store.put(key_new, {"cost": 1.5})
         assert store.get(key_new) == {"cost": 1.5}
-        assert len(store) == 1  # B's map holds only the new entry
-        # the local memo still answers entries paid for on host A
+        # write-through replication: B holds the pre-death entry too,
+        # so losing host A lost nothing
+        assert len(store) == 2
         assert store.get(key_known) == {"cost": 4.3}
 
     def test_exhausted_fallbacks_raise_transport_error(self):
@@ -605,7 +614,7 @@ class TestServerCacheFailover:
         store = ServerCacheStore(
             a.url, fallbacks=(a.url, a.url + "/"), timeout_s=1.0, retries=0
         )
-        assert store._fallbacks == []
+        assert store.replica_urls == [a.url]
 
 
 class TestHyperparamTagStability:

@@ -31,7 +31,7 @@ import pytest
 
 from repro.cli import RegistryEnvFactory
 from repro.core.errors import ServiceError, ServiceTransportError
-from repro.service import EvaluationService
+from repro.service import EvaluationService, ServiceClient
 from repro.sweeps import HostPool, clear_backend_cache, run_lottery_sweep
 
 # Reuse the deterministic service env (module-level, so tasks pickle)
@@ -373,6 +373,207 @@ class TestMultiHostFaultInjection:
             httpd.shutdown()
             httpd.server_close()
             good.stop()
+
+
+class TestCachePrimaryFailover:
+    """The tentpole scenario: the host carrying the *shared cache
+    primary* dies mid-sweep. With write-through replication the
+    surviving replica answers every cache read — byte-identical
+    reports, the same cross-trial hit count, and zero extra
+    simulator invocations."""
+
+    KW = dict(agents=("rw", "ga"), n_trials=2, n_samples=15, seed=9)
+
+    def _run(self, urls):
+        return run_lottery_sweep(
+            SvcCountingEnv,
+            service_url=list(urls),
+            shared_cache=True, cache_replicas=2,
+            service_timeout_s=5.0, service_retries=1,
+            **self.KW,
+        )
+
+    def test_cache_primary_killed_mid_sweep_no_resimulation(self):
+        # Clean reference: same 2-host replicated-cache sweep, nobody
+        # dies.
+        svc_a, svc_b = _service(), _service()
+        try:
+            clean = self._run([svc_a.url, svc_b.url])
+        finally:
+            svc_a.stop()
+            svc_b.stop()
+        assert clean.shared_cache_hits > 0  # the cache really engaged
+        clear_backend_cache()
+
+        # Dying run: host A — first URL, so both the dispatch pool's
+        # member and the shared-cache *primary* — is killed partway in.
+        svc_a = EvaluationService()
+
+        class DyingEnv(SvcCountingEnv):
+            env_id = "SvcCounting-v0"
+            calls = 0
+
+            def evaluate(self, action):
+                type(self).calls += 1
+                if type(self).calls == 5:
+                    threading.Thread(target=svc_a.stop, daemon=True).start()
+                    time.sleep(0.2)
+                return super().evaluate(action)
+
+        svc_a.register("SvcCounting-v0", DyingEnv)
+        url_a = svc_a.start()
+        svc_b = _service()
+        try:
+            dying = self._run([url_a, svc_b.url])
+        finally:
+            svc_a.stop()
+            svc_b.stop()
+
+        assert _normalized(dying) == _normalized(clean)
+        # No cache loss: every cross-trial hit the clean run got, the
+        # dying run got too — and nothing had to be re-simulated.
+        assert dying.shared_cache_hits == clean.shared_cache_hits
+        assert dying.remote_evals == clean.remote_evals
+
+
+# -- anti-entropy backfill --------------------------------------------------------
+
+
+class TestCacheBackfill:
+    """A revived host rejoins with an *empty* (or stale) memo cache;
+    the pool must backfill it from a live replica before putting it
+    back in rotation, so the fleet's cache coverage survives restarts."""
+
+    def _seed(self, url, n):
+        client = ServiceClient(url, timeout_s=5.0, retries=0)
+        entries = {f"pt-{i:02d}": {"cost": float(i)} for i in range(n)}
+        for key_str, metrics in entries.items():
+            client.cache_put(key_str, metrics)
+        return client, entries
+
+    def test_check_health_backfills_revived_host(self, two_services):
+        a, b = two_services
+        url_b, port_b = b.url, b.port
+        client_a, seeded = self._seed(a.url, 5)
+        pool = HostPool(
+            [a.url, url_b], timeout_s=1.0, retries=0, backoff_s=0.01
+        )
+        b.stop()
+        for i in range(2):  # quarantine b via failed dispatch
+            pool.evaluate("SvcCounting-v0", {"x": i, "m": "a"})
+        assert pool.quarantined_urls == [url_b]
+        donor_size = client_a.cache_size()
+        restarted = _service(port=port_b)  # fresh process, empty cache
+        try:
+            report = pool.check_health()
+            assert report[url_b]["status"] == "ok"
+            assert pool.quarantined_urls == []
+            assert pool.cache_backfills == donor_size
+            entries, total = ServiceClient(
+                url_b, timeout_s=5.0, retries=0
+            ).cache_list(limit=1000)
+            assert total == donor_size
+            got = dict(entries)
+            for key_str, metrics in seeded.items():
+                assert got[key_str] == metrics
+        finally:
+            restarted.stop()
+
+    def test_timed_revival_backfills_before_rejoining(self, two_services):
+        """The production path: the piggybacked revival probe (not an
+        explicit health check) restores the host — backfill must ride
+        along there too."""
+        a, b = two_services
+        url_b, port_b = b.url, b.port
+        client_a, _ = self._seed(a.url, 3)
+        pool = HostPool(
+            [a.url, url_b], timeout_s=1.0, retries=0, backoff_s=0.01,
+            revive_after_s=0.05,
+        )
+        b.stop()
+        for i in range(2):  # round-robin: b's turn comes within two
+            pool.evaluate("SvcCounting-v0", {"x": i, "m": "a"})
+        assert pool.quarantined_urls == [url_b]
+        donor_size = client_a.cache_size()
+        restarted = _service(port=port_b)
+        try:
+            time.sleep(0.1)  # let the rest period elapse
+            pool.evaluate("SvcCounting-v0", {"x": 2, "m": "a"})
+            assert pool.quarantined_urls == []
+            assert pool.cache_backfills == donor_size
+            assert restarted.cache_size() == donor_size
+        finally:
+            restarted.stop()
+
+
+# -- self-tuning dispatch weights -------------------------------------------------
+
+
+class _SlowCountingEnv(SvcCountingEnv):
+    """Deterministic metrics, but each evaluation costs real wall
+    time — the heterogeneous-fleet stand-in."""
+
+    def evaluate(self, action):
+        time.sleep(0.03)
+        return super().evaluate(action)
+
+
+class TestAutoWeights:
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ServiceError, match="auto_weights_interval_s"):
+            HostPool(
+                ["http://h1:1"], timeout_s=1.0,
+                auto_weights=True, auto_weights_interval_s=-1.0,
+            )
+
+    def test_slow_host_weight_tuned_below_fast_host(self):
+        slow = EvaluationService()
+        slow.register("SvcCounting-v0", _SlowCountingEnv)
+        slow.start()
+        fast = _service()
+        try:
+            pool = HostPool(
+                [slow.url, fast.url], timeout_s=10.0, retries=0,
+                auto_weights=True, auto_weights_interval_s=0.0,
+            )
+            # Static weights are untouched; effective ones start equal.
+            assert pool.weights_by_host == {slow.url: 1.0, fast.url: 1.0}
+            assert pool.effective_weights_by_host == pool.weights_by_host
+            for i in range(16):
+                pool.evaluate("SvcCounting-v0", {"x": i, "m": "a"})
+            assert pool.auto_weight_updates > 0
+            eff = pool.effective_weights_by_host
+            # The fastest host anchors the scale at its static weight;
+            # the slow one is scaled down but floored, never starved.
+            assert eff[fast.url] == pytest.approx(1.0)
+            assert 0.1 <= eff[slow.url] < eff[fast.url]
+            # The declared capacity weights never move.
+            assert pool.weights_by_host == {slow.url: 1.0, fast.url: 1.0}
+        finally:
+            slow.stop()
+            fast.stop()
+
+    def test_unmeasured_host_keeps_static_weight(self, two_services):
+        """A cold host (no observed evaluations yet) must keep its
+        declared weight — tuning only ever acts on evidence."""
+        a, b = two_services
+        pool = HostPool(
+            [a.url, b.url], timeout_s=10.0, retries=0,
+            auto_weights=True, auto_weights_interval_s=0.0,
+        )
+        pool._hosts[0].inflight = 5  # starve a: every call goes to b
+        for i in range(6):
+            pool.evaluate("SvcCounting-v0", {"x": i, "m": "a"})
+        eff = pool.effective_weights_by_host
+        assert eff[a.url] == pytest.approx(1.0)
+
+    def test_auto_weights_off_by_default(self, two_services):
+        a, b = two_services
+        pool = HostPool([a.url, b.url], timeout_s=10.0, retries=0)
+        for i in range(6):
+            pool.evaluate("SvcCounting-v0", {"x": i, "m": "a"})
+        assert pool.auto_weight_updates == 0
+        assert pool.effective_weights_by_host == pool.weights_by_host
 
 
 # -- the parity battery -----------------------------------------------------------

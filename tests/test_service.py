@@ -180,6 +180,81 @@ class TestServerEndpoints:
         with pytest.raises(ServiceError, match="already registered"):
             service.register("SvcCounting-v0", SvcCountingEnv)
 
+    def test_busy_time_accumulates_on_healthz(self, client):
+        """``busy_s`` is the auto-weights denominator: it must start at
+        zero, grow with real cost-model work (single and batched), and
+        stay put for memo hits."""
+        assert client.healthz()["busy_s"] == 0.0
+        client.evaluate("SvcCounting-v0", {"x": 1, "m": "b"})
+        after_one = client.healthz()["busy_s"]
+        assert after_one > 0.0
+        client.evaluate_batch(
+            "SvcCounting-v0",
+            [{"x": i, "m": "a"} for i in range(4)],
+            memoize=False,
+        )
+        assert client.healthz()["busy_s"] > after_one
+
+
+class TestCacheListing:
+    """``GET /cache?offset=N&limit=M``: the paginated listing the
+    anti-entropy backfill pages through."""
+
+    def _fill(self, client, n):
+        entries = {f"key-{i:03d}": {"cost": float(i)} for i in range(n)}
+        for key_str, metrics in entries.items():
+            client.cache_put(key_str, metrics)
+        return entries
+
+    def test_listing_pages_cover_the_whole_map(self, client):
+        entries = self._fill(client, 7)
+        seen = {}
+        offset = 0
+        while True:
+            page, total = client.cache_list(offset=offset, limit=3)
+            assert total == len(entries)
+            if not page:
+                break
+            for key_str, metrics in page:
+                seen[key_str] = metrics
+            offset += len(page)
+            if offset >= total:
+                break
+        assert seen == entries
+
+    def test_listing_is_sorted_and_offset_windowed(self, client):
+        self._fill(client, 5)
+        page, total = client.cache_list(offset=2, limit=2)
+        assert total == 5
+        assert [k for k, _ in page] == ["key-002", "key-003"]
+
+    def test_listing_of_empty_cache(self, client):
+        page, total = client.cache_list()
+        assert page == [] and total == 0
+
+    def test_listing_matches_file_backed_store(self, tmp_path):
+        """The durable (``--cache-dir``) server must page identically
+        to the in-memory one."""
+        svc = EvaluationService(cache_dir=tmp_path / "srv-cache")
+        svc.start()
+        try:
+            client = ServiceClient(svc.url, timeout_s=10.0, retries=0)
+            entries = self._fill(client, 4)
+            page, total = client.cache_list(limit=10)
+            assert total == 4
+            assert dict(page) == entries
+        finally:
+            svc.stop()
+
+    def test_bad_query_parameters_rejected(self, client):
+        for query in ("offset=-1", "limit=0", "offset=x", "page=3"):
+            with pytest.raises(ServiceError):
+                client._checked("GET", f"/cache?{query}")
+
+    def test_plain_cache_route_still_reports_size(self, client):
+        self._fill(client, 2)
+        assert client.cache_size() == 2
+
 
 class TestBatchEndpoint:
     """``POST /evaluate_batch``: many design points, one round trip,

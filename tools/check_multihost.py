@@ -12,25 +12,38 @@ over a two-host pool with a mid-sweep kill:
    issue ≥ 32× fewer HTTP round trips than per-point dispatch (64 vs
    one ``POST /evaluate_batch`` per host) and be faster;
 3. starts a seeded sweep spread over both hosts (two ``--service-url``
-   flags — least-load scheduling with failover) exporting its report;
+   flags — least-load scheduling with failover) with the replicated
+   shared-cache tier on (``--shared-cache --cache-replicas 2`` — host
+   A, the first URL, is the cache *primary*) exporting its report;
 4. while the sweep runs, waits until host A has actually evaluated
    design points, then **SIGKILLs** it — the real thing, not a
-   graceful shutdown;
+   graceful shutdown — taking down the dispatch host *and* the cache
+   primary in one blow;
 5. the sweep must complete on the surviving host: the run is diffed
-   against an identical in-process sweep (timing and remote-eval
-   provenance fields zeroed — everything else must match exactly,
-   proving no trial was lost, duplicated, or corrupted by failover);
+   against an identical in-process sweep with a local shared cache
+   (timing and remote-eval provenance fields zeroed — everything
+   else, including the cross-trial ``shared_cache_hits``, must match
+   exactly, proving no trial was lost, duplicated, corrupted, or
+   starved of its cache by the failover);
 6. asserts the kill landed mid-sweep, that the survivor carried load
    afterwards, and that per-trial ``remote_hosts`` provenance accounts
-   for every remote evaluation.
+   for every remote evaluation;
+7. re-runs the identical sweep against the pool with host A still
+   dead: every design point must be answered from host B's cache
+   replica — **zero** re-simulated points (``remote_evals`` 0 on every
+   trial, host B's ``evaluations`` counter unchanged) with search
+   results still identical to the clean run.
 
 Exit code 0 means a host died mid-sweep and nobody noticed in the
-results. Usage: ``python tools/check_multihost.py`` (repo root; sets
-PYTHONPATH=src for its children itself).
+results — and its cache entries died with it without costing a single
+re-simulation. Usage: ``python tools/check_multihost.py`` (repo root;
+sets PYTHONPATH=src for its children itself).
 """
 
 from __future__ import annotations
 
+import copy
+import json
 import os
 import signal
 import subprocess
@@ -57,11 +70,16 @@ SWEEP_ARGS = [
     "--trials", "2", "--samples", "80", "--seed", "11", "--workers", "1",
 ]
 
+#: The replicated shared-cache tier: every put fans out to two pool
+#: hosts, so the primary's death must not lose a single entry.
+CACHE_ARGS = ["--shared-cache", "--cache-replicas", "2"]
+
 
 def main() -> int:
     workdir = Path(mkdtemp(prefix="archgym-multihost-check-"))
     multihost_export = workdir / "multihost.json"
     clean_export = workdir / "clean.json"
+    replay_export = workdir / "replay.json"
 
     # 1. two independent evaluation hosts
     server_a = spawn_server("DRAMGym-v0")
@@ -79,9 +97,10 @@ def main() -> int:
         baseline_a = healthz(url_a)["evaluations"]
         baseline_b = healthz(url_b)["evaluations"]
 
-        # 3. the sweep, spread over both hosts
+        # 3. the sweep, spread over both hosts, with the replicated
+        # shared-cache tier (host A = cache primary)
         sweep = subprocess.Popen(
-            cli(*SWEEP_ARGS,
+            cli(*SWEEP_ARGS, *CACHE_ARGS,
                 "--service-url", url_a, "--service-url", url_b,
                 "--service-timeout", "15", "--service-retries", "1",
                 "--export", str(multihost_export)),
@@ -127,6 +146,77 @@ def main() -> int:
             f"sweep survived the kill (host B served "
             f"{health_b['evaluations'] - baseline_b} sweep evaluations)"
         )
+
+        # in-process reference run — shared cache in a local directory
+        # so the cross-trial hit accounting is comparable row for row
+        subprocess.run(
+            cli(*SWEEP_ARGS, "--shared-cache",
+                "--out-dir", str(workdir / "clean-shards"),
+                "--export", str(clean_export)),
+            env=check_env(), cwd=REPO_ROOT, check=True,
+            stdout=subprocess.DEVNULL, timeout=600,
+        )
+
+        # 6. diff (remote participation + provenance asserted during load)
+        multihost = normalized_rows(multihost_export, expect_remote=True)
+        clean = normalized_rows(clean_export, expect_remote=False)
+        if not diff_reports(multihost, clean, "multihost"):
+            return 1
+        print(
+            "OK: a host died mid-sweep and the report is still identical "
+            "to the in-process run (shared-cache hits included)"
+        )
+
+        # 7. zero-resimulation proof: the identical sweep again, with
+        # the cache primary still dead — every point must come out of
+        # host B's replica, never the simulator
+        evals_b_before = healthz(url_b)["evaluations"]
+        subprocess.run(
+            cli(*SWEEP_ARGS, *CACHE_ARGS,
+                "--service-url", url_a, "--service-url", url_b,
+                "--service-timeout", "15", "--service-retries", "1",
+                "--export", str(replay_export)),
+            env=check_env(), cwd=REPO_ROOT, check=True,
+            stdout=subprocess.DEVNULL, timeout=600,
+        )
+        evals_b_after = healthz(url_b)["evaluations"]
+        replay = json.loads(replay_export.read_text())
+        resimulated = sum(row["remote_evals"] for row in replay["rows"])
+        if resimulated != 0:
+            print(
+                f"FAIL: cache replay re-simulated {resimulated} design "
+                "point(s) after the cache primary's death"
+            )
+            return 1
+        if evals_b_after != evals_b_before:
+            print(
+                f"FAIL: surviving host evaluated "
+                f"{evals_b_after - evals_b_before} point(s) during the "
+                "cache replay — the replica did not cover the sweep"
+            )
+            return 1
+        # search results must still match the clean run; only the cache
+        # accounting legitimately differs (every point is now a
+        # cross-trial hit, so nothing ever misses through to the
+        # simulator), so zero it on both sides
+        for row in replay["rows"]:
+            row["wall_time_s"] = 0.0
+            row["sim_time_s"] = 0.0
+            row["remote_evals"] = 0
+            row["remote_hosts"] = {}
+            row["shared_cache_hits"] = 0
+            row["cache_misses"] = 0
+        clean_no_hits = copy.deepcopy(clean)
+        for row in clean_no_hits["rows"]:
+            row["shared_cache_hits"] = 0
+            row["cache_misses"] = 0
+        if not diff_reports(replay, clean_no_hits, "cache-replay"):
+            return 1
+        print(
+            "OK: the dead cache primary cost zero re-simulated points — "
+            "host B's replica answered the whole sweep"
+        )
+        return 0
     finally:
         if sweep is not None and sweep.poll() is None:
             sweep.kill()
@@ -135,24 +225,6 @@ def main() -> int:
             if server.poll() is None:
                 server.terminate()
                 server.wait(timeout=30)
-
-    # in-process reference run
-    subprocess.run(
-        cli(*SWEEP_ARGS, "--export", str(clean_export)),
-        env=check_env(), cwd=REPO_ROOT, check=True, stdout=subprocess.DEVNULL,
-        timeout=600,
-    )
-
-    # 6. diff (remote participation + provenance asserted during load)
-    multihost = normalized_rows(multihost_export, expect_remote=True)
-    clean = normalized_rows(clean_export, expect_remote=False)
-    if not diff_reports(multihost, clean, "multihost"):
-        return 1
-    print(
-        "OK: a host died mid-sweep and the report is still identical to "
-        "the in-process run"
-    )
-    return 0
 
 
 if __name__ == "__main__":

@@ -18,7 +18,10 @@ Drives the real CLI end to end, mirroring tools/check_resume.py:
    :func:`straggler_microbench` injects a deliberately slow host into
    a 2-host pool and requires streaming dispatch with work stealing
    (``--pipeline``'s transport) to beat the barrier scatter on
-   wall-clock with at least one steal and identical metrics;
+   wall-clock with at least one steal and identical metrics, and
+   :func:`auto_weights_microbench` requires a pool with
+   ``auto_weights=True`` to observe the same speed gap via healthz
+   service rates and visibly shift scattered load off the slow host;
 4. runs the identical sweep in-process into a second export;
 5. diffs the two reports — trial order, metrics, hyperparameters, and
    cache counters must match exactly (timing fields and the
@@ -302,6 +305,84 @@ def straggler_microbench(
         )
 
 
+def auto_weights_microbench(
+    population: int = 32, delay_s: float = 0.03, generations: int = 6
+) -> None:
+    """Self-tuning dispatch weights over a heterogeneous 2-host pool.
+
+    Scatters ``generations`` population-``population`` batches over a
+    pool whose first host sleeps ``delay_s`` per design point, with
+    ``auto_weights=True`` (observed service rates blended into the
+    dispatch weights after every batch). The first batch splits evenly
+    — the pool has no measurements yet — but once the speed gap is
+    observed, the slow host's effective weight must drop below the
+    fast host's (never below the starvation floor) and its share of
+    the scattered points must fall visibly behind: over the whole run
+    the slow host must answer less than half as many points as the
+    fast one. Raises on any violation — this is the CI gate for
+    heterogeneous fleets actually rebalancing.
+    """
+    import functools
+
+    import numpy as np
+
+    import repro
+    from repro.service import EvaluationService
+    from repro.sweeps.hostpool import HostPool
+
+    env = repro.make("DRAMGym-v0")
+    rng = np.random.default_rng(0)
+    batches = [
+        [env.action_space.sample(rng) for _ in range(population)]
+        for _ in range(generations)
+    ]
+    env.close()
+
+    slow = EvaluationService()
+    slow.register("DRAMGym-v0", functools.partial(_slow_dram_env, delay_s))
+    fast = EvaluationService()
+    fast.register("DRAMGym-v0", functools.partial(repro.make, "DRAMGym-v0"))
+    slow.start()
+    fast.start()
+    try:
+        pool = HostPool(
+            [slow.url, fast.url], timeout_s=60.0, retries=0,
+            auto_weights=True, auto_weights_interval_s=0.0,
+        )
+        for batch in batches:
+            # memoize off: every point pays the full simulation cost,
+            # so the observed rates reflect the real speed gap
+            pool.evaluate_batch_scatter("DRAMGym-v0", batch, memoize=False)
+        slow_evals, fast_evals = slow.evaluations, fast.evaluations
+        slow_url, fast_url = slow.url, fast.url
+    finally:
+        slow.stop()
+        fast.stop()
+
+    eff = pool.effective_weights_by_host
+    print(
+        f"auto-weights microbench ({generations} x {population} points, "
+        f"one host {delay_s * 1e3:.0f}ms/point slower): slow host answered "
+        f"{slow_evals}, fast host {fast_evals} "
+        f"(effective weights {eff[slow_url]:.2f} vs {eff[fast_url]:.2f}, "
+        f"{pool.auto_weight_updates} weight refresh(es))"
+    )
+    if pool.auto_weight_updates < 1:
+        raise RuntimeError("auto-weights never refreshed from healthz")
+    if not eff[slow_url] < eff[fast_url]:
+        raise RuntimeError(
+            f"slow host's effective weight ({eff[slow_url]:.2f}) did not "
+            f"drop below the fast host's ({eff[fast_url]:.2f})"
+        )
+    if eff[slow_url] <= 0:
+        raise RuntimeError("starvation floor violated: slow host weight <= 0")
+    if slow_evals * 2 >= fast_evals:
+        raise RuntimeError(
+            f"traffic never rebalanced: slow host answered {slow_evals} of "
+            f"{slow_evals + fast_evals} points (fast host {fast_evals})"
+        )
+
+
 def main() -> int:
     workdir = Path(mkdtemp(prefix="archgym-service-check-"))
     service_export = workdir / "service.json"
@@ -334,6 +415,9 @@ def main() -> int:
 
     # 3b. streaming dispatch must beat the barrier when one host straggles
     straggler_microbench()
+
+    # 3c. observed-rate weights must shift load off a slow host
+    auto_weights_microbench()
 
     # 4. in-process reference run
     subprocess.run(
