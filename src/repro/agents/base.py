@@ -28,6 +28,7 @@ unchanged, and a batched run is byte-identical to a serial one.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence
@@ -193,6 +194,16 @@ class SearchResult:
     #: answered — empty for in-process runs, one entry per host a
     #: multi-host pool used for this trial.
     remote_hosts: Dict[str, int] = field(default_factory=dict)
+    #: Proxy-screen accounting (all zero unless ``proxy_screen`` ran):
+    #: proposals scored by the surrogate, how many of those were sent
+    #: for real evaluation (top-k plus the honesty-refresh slice, so
+    #: ``proxy_screened - proxy_accepted`` were answered by the proxy
+    #: alone), how many real evaluations the refresh slice spent, and
+    #: the worst relative validation RMSE of the proxy's last refit.
+    proxy_screened: int = 0
+    proxy_accepted: int = 0
+    proxy_refresh_evals: int = 0
+    proxy_last_rmse: float = 0.0
 
     def fitness_at(self, n: int) -> float:
         """Best fitness after the first ``n`` samples (sample-budget view,
@@ -229,6 +240,10 @@ class SearchResult:
             "remote_hosts": {
                 str(h): int(n) for h, n in self.remote_hosts.items()
             },
+            "proxy_screened": int(self.proxy_screened),
+            "proxy_accepted": int(self.proxy_accepted),
+            "proxy_refresh_evals": int(self.proxy_refresh_evals),
+            "proxy_last_rmse": float(self.proxy_last_rmse),
         }
 
     @classmethod
@@ -256,6 +271,10 @@ class SearchResult:
                 str(h): int(n)
                 for h, n in dict(record.get("remote_hosts", {})).items()
             },
+            proxy_screened=int(record.get("proxy_screened", 0)),
+            proxy_accepted=int(record.get("proxy_accepted", 0)),
+            proxy_refresh_evals=int(record.get("proxy_refresh_evals", 0)),
+            proxy_last_rmse=float(record.get("proxy_last_rmse", 0.0)),
         )
 
 
@@ -267,6 +286,11 @@ def run_agent(
     source_tag: Optional[str] = None,
     generation_dispatch: bool = False,
     pipeline: bool = False,
+    proxy_screen: bool = False,
+    proxy_oversample: int = 4,
+    proxy_topk: Optional[int] = None,
+    proxy_refresh: float = 0.1,
+    proxy_min_corpus: int = 64,
 ) -> SearchResult:
     """Drive ``agent`` against ``env`` for ``n_samples`` evaluations.
 
@@ -297,9 +321,39 @@ def run_agent(
     next-generation dispatch with the straggler's stale work instead
     of waiting behind it. Bookkeeping order is unchanged, so the
     result stays byte-identical to both other modes.
+
+    ``proxy_screen=True`` (which also implies the batched protocol)
+    inserts an **oversample-and-rank** stage in front of real
+    evaluation: an :class:`~repro.proxy.online.OnlineProxy` trained
+    from the shared cache's accumulated corpus scores every proposed
+    generation, and only the top ``proxy_topk`` points (default
+    ``ceil(generation / proxy_oversample)``) go to
+    ``step_batch``/``step_batch_stream`` — so ``n_samples`` buys
+    ``proxy_oversample×`` more *candidate* generations for the same
+    simulator budget. A ``proxy_refresh`` fraction of every top-k is
+    additionally spent ground-truthing a seeded random slice of the
+    *rejected* points, keeping the proxy's corpus unbiased; rejected
+    points are answered to the agent with the proxy's predicted
+    metrics/fitness (the incumbent, reward history, and dataset only
+    ever see real evaluations). Until the corpus reaches
+    ``proxy_min_corpus`` points *and* validation RMSE clears the
+    proxy's gate, the driver falls back to plain dispatch —
+    byte-identical to ``proxy_screen=False``.
     """
     if n_samples < 1:
         raise AgentError("n_samples must be >= 1")
+    if proxy_screen:
+        generation_dispatch = True  # screening ranks whole generations
+        if proxy_oversample < 1:
+            raise AgentError(
+                f"proxy_oversample must be >= 1, got {proxy_oversample}"
+            )
+        if proxy_topk is not None and proxy_topk < 1:
+            raise AgentError(f"proxy_topk must be >= 1, got {proxy_topk}")
+        if not 0.0 <= proxy_refresh <= 1.0:
+            raise AgentError(
+                f"proxy_refresh must be in [0, 1], got {proxy_refresh}"
+            )
     if pipeline:
         generation_dispatch = True  # the pipeline speaks the batched protocol
     higher = env.reward_spec.higher_is_better
@@ -314,6 +368,9 @@ def run_agent(
     shared_0 = env.stats.shared_cache_hits
     remote_0 = env.stats.remote_evals
     hosts_0 = dict(env.stats.remote_evals_by_host)
+    screened_0 = env.stats.proxy_screened
+    accepted_0 = env.stats.proxy_accepted
+    refresh_0 = env.stats.proxy_refresh_evals
 
     start = time.perf_counter()
     env.reset(seed=seed)
@@ -345,6 +402,30 @@ def run_agent(
         return fitness
 
     if generation_dispatch:
+        proxy = None
+        refresh_rng: Optional[np.random.Generator] = None
+        if proxy_screen:
+            # Imported lazily: agents must stay importable (and the
+            # serial driver payable) without touching the proxy package.
+            from repro.proxy.online import OnlineProxy
+
+            proxy_seed = 0 if seed is None else int(seed)
+            proxy = OnlineProxy(
+                env.action_space,
+                env.observation_metrics,
+                min_corpus=proxy_min_corpus,
+                seed=proxy_seed,
+                # An intentionally unreachable min_corpus (pinning the
+                # run to the cold path) must not trip the ctor's
+                # max_fit_samples >= min_corpus invariant.
+                max_fit_samples=max(2048, proxy_min_corpus),
+            )
+            refresh_rng = np.random.default_rng(proxy_seed + 1000003)
+
+        def predicted_fitness(metrics: Mapping[str, float]) -> float:
+            reward = env.reward_spec.compute(metrics)
+            return reward if higher else -reward
+
         remaining = n_samples
         while remaining > 0:
             proposals = agent.propose_batch()
@@ -352,27 +433,104 @@ def run_agent(
                 raise AgentError(
                     f"{agent.name}.propose_batch() returned no proposals"
                 )
-            # A generation larger than the remaining budget is cut to
-            # it — the serial loop would have stopped mid-generation at
-            # exactly this point.
-            proposals = proposals[:remaining]
-            step_results = (
-                env.step_batch_stream(proposals) if pipeline
-                else env.step_batch(proposals)
-            )
-            fitnesses: List[float] = []
-            metrics_list: List[Dict[str, float]] = []
-            terminated = truncated = False
-            for action, step_result in zip(proposals, step_results):
-                __, reward, terminated, truncated, info = step_result
-                fitnesses.append(absorb(action, reward, info))
-                metrics_list.append(info["metrics"])
-            agent.observe_batch(proposals, fitnesses, metrics_list)
-            remaining -= len(proposals)
+            screen = False
+            if proxy is not None:
+                # Harvest whatever corpus the shared tier has accumulated
+                # (other trials' points included) and refit if warranted.
+                # Pure reads plus the proxy's own seeded RNG: while the
+                # cold-start gate stays shut the run remains byte-
+                # identical to an unscreened one.
+                if env.shared_cache is not None:
+                    proxy.harvest(env.shared_cache)
+                proxy.maybe_refit()
+                screen = proxy.ready and len(proposals) > 1
 
-            # step_batch resets mid-batch episode ends itself; a batch
-            # whose *final* point closed an episode leaves the reset to
-            # the driver, exactly like the serial loop below.
+            if not screen:
+                # Plain dispatch (no proxy, or cold start).
+                # A generation larger than the remaining budget is cut to
+                # it — the serial loop would have stopped mid-generation at
+                # exactly this point.
+                proposals = proposals[:remaining]
+                step_results = (
+                    env.step_batch_stream(proposals) if pipeline
+                    else env.step_batch(proposals)
+                )
+                fitnesses: List[float] = []
+                metrics_list: List[Dict[str, float]] = []
+                terminated = truncated = False
+                for action, step_result in zip(proposals, step_results):
+                    __, reward, terminated, truncated, info = step_result
+                    fitnesses.append(absorb(action, reward, info))
+                    metrics_list.append(info["metrics"])
+                    if proxy is not None:
+                        proxy.observe(action, info["metrics"])
+                agent.observe_batch(proposals, fitnesses, metrics_list)
+                remaining -= len(proposals)
+
+                # step_batch resets mid-batch episode ends itself; a batch
+                # whose *final* point closed an episode leaves the reset to
+                # the driver, exactly like the serial loop below.
+                if terminated or truncated:
+                    env.reset()
+                continue
+
+            # -- oversample-and-rank ----------------------------------
+            # The whole proposed generation is the candidate pool; only
+            # the proxy's top-k (plus the honesty-refresh slice) is
+            # really simulated, so each unit of sample budget screens
+            # ``oversample×`` candidates.
+            pool = proposals
+            k = (
+                proxy_topk if proxy_topk is not None
+                else max(1, math.ceil(len(pool) / proxy_oversample))
+            )
+            k = min(k, len(pool))
+            predictions = proxy.predict_batch(pool)
+            pred_fitness = [predicted_fitness(m) for m in predictions]
+            # Best-first by predicted fitness; ties break by proposal
+            # index so the ranking is deterministic.
+            order = sorted(
+                range(len(pool)), key=lambda i: (-pred_fitness[i], i)
+            )
+            accepted = set(order[:k])
+            rejected = [i for i in range(len(pool)) if i not in accepted]
+            refresh: set = set()
+            if rejected and proxy_refresh > 0.0:
+                n_refresh = min(len(rejected), math.ceil(proxy_refresh * k))
+                picks = refresh_rng.choice(
+                    len(rejected), size=n_refresh, replace=False
+                )
+                refresh = {rejected[int(j)] for j in picks}
+            eval_idx = sorted(accepted | refresh)[:remaining]
+            eval_actions = [pool[i] for i in eval_idx]
+            step_results = (
+                env.step_batch_stream(eval_actions) if pipeline
+                else env.step_batch(eval_actions)
+            )
+            real: Dict[int, Any] = {}
+            terminated = truncated = False
+            for i, step_result in zip(eval_idx, step_results):
+                __, reward, terminated, truncated, info = step_result
+                real[i] = (absorb(pool[i], reward, info), dict(info["metrics"]))
+                proxy.observe(pool[i], info["metrics"])
+            env.stats.proxy_screened += len(pool)
+            env.stats.proxy_accepted += len(eval_idx)
+            env.stats.proxy_refresh_evals += sum(
+                1 for i in eval_idx if i in refresh
+            )
+            env.stats.proxy_last_rmse = proxy.last_rmse
+            # The agent observes the full generation in proposal order:
+            # ground truth where simulated, the surrogate's prediction
+            # elsewhere. The incumbent/result bookkeeping (absorb) only
+            # ever saw real evaluations.
+            fitnesses = []
+            metrics_list = []
+            for i in range(len(pool)):
+                fitness, metrics = real.get(i, (pred_fitness[i], predictions[i]))
+                fitnesses.append(fitness)
+                metrics_list.append(metrics)
+            agent.observe_batch(pool, fitnesses, metrics_list)
+            remaining -= len(eval_idx)
             if terminated or truncated:
                 env.reset()
     else:
@@ -407,4 +565,8 @@ def run_agent(
             for host, count in env.stats.remote_evals_by_host.items()
             if count - hosts_0.get(host, 0) > 0
         },
+        proxy_screened=env.stats.proxy_screened - screened_0,
+        proxy_accepted=env.stats.proxy_accepted - accepted_0,
+        proxy_refresh_evals=env.stats.proxy_refresh_evals - refresh_0,
+        proxy_last_rmse=float(env.stats.proxy_last_rmse),
     )

@@ -239,6 +239,38 @@ def _add_durability_args(parser: argparse.ArgumentParser) -> None:
                              "so a dying cache host loses no entries — "
                              "reads fail over to a replica and revived "
                              "hosts are backfilled")
+    parser.add_argument("--proxy-screen", action="store_true",
+                        help="pre-screen generations with an online "
+                             "surrogate trained from the shared cache: "
+                             "agents' proposals are ranked by predicted "
+                             "fitness and only the top slice is really "
+                             "simulated (requires --shared-cache plus "
+                             "--out-dir or --service-url; results change "
+                             "— the decision is fingerprinted)")
+    parser.add_argument("--proxy-oversample", type=int, default=4,
+                        metavar="X",
+                        help="with --proxy-screen: evaluate roughly 1/X "
+                             "of each generation for real, the surrogate "
+                             "answers the rest (default: 4)")
+    parser.add_argument("--proxy-topk", type=int, default=None,
+                        metavar="K",
+                        help="with --proxy-screen: simulate exactly the "
+                             "K best-predicted proposals per generation "
+                             "(overrides --proxy-oversample)")
+    parser.add_argument("--proxy-refresh", type=float, default=0.1,
+                        metavar="FRAC",
+                        help="with --proxy-screen: always ground-truth a "
+                             "seeded random FRAC (of the accepted count) "
+                             "of proxy-rejected proposals so the "
+                             "surrogate cannot drift unchallenged "
+                             "(default: 0.1)")
+    parser.add_argument("--proxy-min-corpus", type=int, default=64,
+                        metavar="N",
+                        help="with --proxy-screen: fall back to plain "
+                             "dispatch until the shared cache holds at "
+                             "least N design points and the surrogate's "
+                             "validation RMSE clears the gate "
+                             "(default: 64)")
     parser.add_argument("--service-timeout", type=float, default=None,
                         metavar="SECONDS",
                         help="per-attempt socket timeout for service "
@@ -309,6 +341,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         pipeline=args.pipeline,
         auto_weights=args.auto_weights,
         cache_replicas=args.cache_replicas,
+        proxy_screen=args.proxy_screen,
+        proxy_oversample=args.proxy_oversample,
+        proxy_topk=args.proxy_topk,
+        proxy_refresh=args.proxy_refresh,
+        proxy_min_corpus=args.proxy_min_corpus,
     )
     print(report.print_table(boxplots=args.boxplots))
     if args.export:
@@ -339,6 +376,7 @@ def _cmd_collect(args: argparse.Namespace) -> int:
         batch=args.service_batch,
         auto_weights=args.auto_weights,
         cache_replicas=args.cache_replicas,
+        proxy_screen=args.proxy_screen,
     )
     tasks = [
         TrialTask(
@@ -351,6 +389,11 @@ def _cmd_collect(args: argparse.Namespace) -> int:
             cache_replicas=args.cache_replicas,
             generation_dispatch=args.generation_dispatch,
             pipeline=args.pipeline,
+            proxy_screen=args.proxy_screen,
+            proxy_oversample=args.proxy_oversample,
+            proxy_topk=args.proxy_topk,
+            proxy_refresh=args.proxy_refresh,
+            proxy_min_corpus=args.proxy_min_corpus,
         )
         for i, name in enumerate(agents)
     ]
@@ -362,11 +405,27 @@ def _cmd_collect(args: argparse.Namespace) -> int:
             env_id = probe.env_id
         finally:
             probe.close()
-        fingerprint = sweep_fingerprint(
-            kind="collect", env_id=env_id,
-            env_signature=factory.fingerprint_signature,
-            agents=list(agents), n_samples=args.samples, seed=args.seed,
-        )
+        # Two call sites on purpose: adding the proxy kwargs
+        # unconditionally would change every historical fingerprint and
+        # strand pre-existing --out-dir shards. Only proxy-screened
+        # collections carry the extra keys.
+        if args.proxy_screen:
+            fingerprint = sweep_fingerprint(
+                kind="collect", env_id=env_id,
+                env_signature=factory.fingerprint_signature,
+                agents=list(agents), n_samples=args.samples, seed=args.seed,
+                proxy_screen=args.proxy_screen,
+                proxy_oversample=args.proxy_oversample,
+                proxy_topk=args.proxy_topk,
+                proxy_refresh=args.proxy_refresh,
+                proxy_min_corpus=args.proxy_min_corpus,
+            )
+        else:
+            fingerprint = sweep_fingerprint(
+                kind="collect", env_id=env_id,
+                env_signature=factory.fingerprint_signature,
+                agents=list(agents), n_samples=args.samples, seed=args.seed,
+            )
         manifest = {
             "fingerprint": fingerprint, "kind": "collect", "env_id": env_id,
             "env_signature": factory.fingerprint_signature,

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 import threading
 from pathlib import Path
@@ -56,6 +57,25 @@ def encode_key(key: ActionKey) -> str:
     stable cross-process identity.
     """
     return json.dumps(key, separators=(",", ":"))
+
+
+def _finite_metrics(metrics: Dict[str, Any]) -> Dict[str, float]:
+    """Normalize metrics to ``{str: float}`` and reject non-finite values.
+
+    ``json.dumps`` would happily emit NaN/±Infinity as the non-standard
+    ``NaN``/``Infinity`` tokens — bytes strict JSON parsers reject and
+    that poison any proxy model trained from the cache corpus — so a
+    non-finite metric is a caller bug surfaced at put time, not an
+    entry to store.
+    """
+    clean = {str(k): float(v) for k, v in metrics.items()}
+    for name, value in clean.items():
+        if not math.isfinite(value):
+            raise CacheStoreError(
+                f"metric {name!r} is non-finite ({value!r}); cache entries "
+                "must hold finite floats"
+            )
+    return clean
 
 
 class SharedCacheStore:
@@ -139,7 +159,7 @@ class SharedCacheStore:
     def put_encoded(self, key_str: str, metrics: Dict[str, float]) -> None:
         """:meth:`put` by pre-encoded key."""
         shard = self._shard_index(key_str)
-        clean = {k: float(v) for k, v in metrics.items()}
+        clean = _finite_metrics(metrics)
         if self._entries[shard].get(key_str) == clean:
             return
         line = (
@@ -165,6 +185,22 @@ class SharedCacheStore:
             keys.extend(entries)
         keys.sort()
         return keys
+
+    def list_encoded(
+        self, offset: int = 0, limit: int = 500
+    ) -> Tuple[List[Tuple[str, Dict[str, float]]], int]:
+        """One page of the store in sorted-key order:
+        ``([(key_str, metrics), ...], total)`` — the same paging
+        contract :meth:`ServerCacheStore.list_encoded` serves, so a
+        corpus harvester (e.g. the online proxy) can walk either tier
+        identically."""
+        keys = self.keys_encoded()
+        page: List[Tuple[str, Dict[str, float]]] = []
+        for key_str in keys[offset:offset + limit]:
+            found = self.get_encoded(key_str)
+            if found is not None:
+                page.append((key_str, found))
+        return page, len(keys)
 
     def __repr__(self) -> str:
         return (
@@ -249,9 +285,13 @@ class SharedCacheStore:
                 continue
             try:
                 record = json.loads(line)
-                self._entries[shard][record["k"]] = {
-                    k: float(v) for k, v in record["m"].items()
-                }
+                folded = {k: float(v) for k, v in record["m"].items()}
+                if not all(math.isfinite(v) for v in folded.values()):
+                    # A pre-guard shard may carry NaN/Infinity tokens
+                    # (Python's json parses them); skip rather than
+                    # serve a value strict peers could never round-trip.
+                    continue
+                self._entries[shard][record["k"]] = folded
             except (ValueError, KeyError, TypeError):
                 # A torn/corrupt line loses one memo entry, never a result.
                 continue
@@ -385,8 +425,9 @@ class ServerCacheStore:
     def _clean(metrics: Dict[str, Any]) -> Dict[str, float]:
         """The one metrics normalizer both :meth:`get` and :meth:`put`
         memoize through, so a ``put`` of an equal-but-int-valued dict
-        short-circuits against a previously fetched entry."""
-        return {str(k): float(v) for k, v in metrics.items()}
+        short-circuits against a previously fetched entry. Non-finite
+        values are rejected before they reach a wire body."""
+        return _finite_metrics(metrics)
 
     def _quarantine(self, host: _CacheHost, exc: BaseException) -> None:
         host.alive = False
@@ -484,6 +525,23 @@ class ServerCacheStore:
     def __len__(self) -> int:
         """Distinct keys held by the first living replica."""
         return self._call("cache_size")
+
+    def list_encoded(
+        self, offset: int = 0, limit: int = 500
+    ) -> Tuple[List[Tuple[str, Dict[str, float]]], int]:
+        """One page of the first living replica's ``GET /cache``
+        listing: ``([(key_str, metrics), ...], total)``. Entries a
+        pre-guard server may still hold with non-finite values are
+        skipped rather than raised — a listing is a harvest, not a
+        lookup."""
+        entries, total = self._call("cache_list", offset, limit)
+        page: List[Tuple[str, Dict[str, float]]] = []
+        for key_str, metrics in entries:
+            try:
+                page.append((key_str, self._clean(metrics)))
+            except (CacheStoreError, TypeError, ValueError):
+                continue
+        return page, int(total)
 
     def __repr__(self) -> str:
         return (

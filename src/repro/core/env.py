@@ -106,6 +106,19 @@ class EnvStats:
         #: ``remote_evals`` broken down by the host URL that answered —
         #: the provenance a multi-host sweep reports per trial.
         self.remote_evals_by_host: Dict[str, int] = {}
+        #: Generation proposals considered by the online proxy screen.
+        self.proxy_screened = 0
+        #: Screened proposals sent for real evaluation (top-k + the
+        #: honesty-refresh slice); ``screened - accepted`` were answered
+        #: by the surrogate alone.
+        self.proxy_accepted = 0
+        #: Real evaluations spent on the honesty-refresh slice — points
+        #: the screen would have rejected, simulated anyway to keep the
+        #: proxy's training corpus unbiased.
+        self.proxy_refresh_evals = 0
+        #: Worst relative validation RMSE of the proxy's latest refit
+        #: (0.0 until the screen has fitted a model).
+        self.proxy_last_rmse = 0.0
 
     def __repr__(self) -> str:
         return (

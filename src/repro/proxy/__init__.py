@@ -1,12 +1,14 @@
 """Proxy cost models trained on ArchGym datasets (paper §7)."""
 
 from repro.proxy.forest import RandomForestRegressor
+from repro.proxy.online import OnlineProxy
 from repro.proxy.proxy_env import ProxyEnv
 from repro.proxy.trainer import ProxyCostModel, rmse, train_test_split
 from repro.proxy.tree import DecisionTreeRegressor
 
 __all__ = [
     "RandomForestRegressor",
+    "OnlineProxy",
     "ProxyEnv",
     "ProxyCostModel",
     "rmse",

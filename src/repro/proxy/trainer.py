@@ -87,6 +87,31 @@ class ProxyCostModel:
     ) -> "ProxyCostModel":
         """Train one forest per target with fixed hyperparameters."""
         X, Y = dataset.to_matrices(self.space, self.targets)
+        return self.fit_matrices(
+            X, Y, test_fraction=test_fraction, seed=seed, **forest_kwargs
+        )
+
+    def fit_matrices(
+        self,
+        X: np.ndarray,
+        Y: np.ndarray,
+        test_fraction: float = 0.2,
+        seed: int = 0,
+        **forest_kwargs,
+    ) -> "ProxyCostModel":
+        """Train from pre-built ``(unit-encoded X, target Y)`` matrices.
+
+        The online screening loop harvests its corpus straight from the
+        shared cache rather than an :class:`ArchGymDataset`, so training
+        must accept raw matrices too.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        Y = np.asarray(Y, dtype=np.float64)
+        if Y.ndim != 2 or Y.shape[1] != len(self.targets):
+            raise ProxyModelError(
+                f"expected (n, {len(self.targets)}) target matrix, got "
+                f"shape {Y.shape}"
+            )
         rng = np.random.default_rng(seed)
         Xtr, Ytr, Xte, Yte = train_test_split(X, Y, test_fraction, rng)
         for j, target in enumerate(self.targets):

@@ -347,15 +347,28 @@ class EvaluationService:
         return len(keys), [(k, m) for k, m in page if m is not None]
 
     def health(self) -> Dict[str, Any]:
+        # env_names and cache_size() take their own (non-reentrant)
+        # locks — resolve them before the counter snapshot. The four
+        # counters are mutated together under _state_lock, so reading
+        # them unlocked could tear (e.g. evaluations from before a
+        # batch landed, busy_s from after) and feed auto-weights a
+        # rate computed from mismatched deltas.
+        envs = list(self.env_names)
+        cache_size = self.cache_size()
+        with self._state_lock:
+            evaluations = self.evaluations
+            batch_requests = self.batch_requests
+            memo_hits = self.memo_hits
+            busy_s = self.busy_s
         return {
             "status": "ok",
             "format": WIRE_FORMAT,
-            "envs": list(self.env_names),
-            "evaluations": self.evaluations,
-            "batch_requests": self.batch_requests,
-            "memo_hits": self.memo_hits,
-            "busy_s": self.busy_s,
-            "cache_size": self.cache_size(),
+            "envs": envs,
+            "evaluations": evaluations,
+            "batch_requests": batch_requests,
+            "memo_hits": memo_hits,
+            "busy_s": busy_s,
+            "cache_size": cache_size,
         }
 
     # -- connection tracking -------------------------------------------------------

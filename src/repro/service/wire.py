@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import base64
 import json
+import math
 from typing import Any, Dict, Mapping, Tuple
 from urllib.parse import parse_qsl
 
@@ -107,13 +108,26 @@ def load_body(raw: bytes) -> Any:
 
 
 def clean_metrics(metrics: Mapping[str, Any]) -> Dict[str, float]:
-    """Coerce a cost-model result to the wire metric schema."""
+    """Coerce a cost-model result to the wire metric schema.
+
+    Non-finite values are rejected: ``json.dumps`` would emit them as
+    the non-standard ``NaN``/``Infinity`` tokens, which strict parsers
+    refuse — a body that cannot round-trip is a schema violation here,
+    not a transport surprise on the other side.
+    """
     try:
-        return {str(k): float(v) for k, v in metrics.items()}
+        clean = {str(k): float(v) for k, v in metrics.items()}
     except (TypeError, ValueError, AttributeError) as exc:
         raise ServiceError(
             f"metrics are not a name->float mapping: {metrics!r}"
         ) from exc
+    for name, value in clean.items():
+        if not math.isfinite(value):
+            raise ServiceError(
+                f"metric {name!r} is non-finite ({value!r}); the wire "
+                "format carries finite floats only"
+            )
+    return clean
 
 
 def parse_batch_request(request: Any) -> tuple:

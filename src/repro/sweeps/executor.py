@@ -232,6 +232,7 @@ def resolve_execution_backend(
     batch: bool = False,
     auto_weights: bool = False,
     cache_replicas: Optional[int] = None,
+    proxy_screen: bool = False,
 ) -> Tuple[Optional[BackendSpec], Optional[str], Optional[str]]:
     """Derive a task batch's ``(backend, server_cache_url,
     shared_cache_dir)`` from the user-facing execution knobs.
@@ -257,6 +258,12 @@ def resolve_execution_backend(
             "auto-weights (--auto-weights / auto_weights=True) tunes a "
             "remote host pool's dispatch weights and therefore requires "
             "a service_url"
+        )
+    if proxy_screen and not shared_cache:
+        raise ExecutorError(
+            "proxy screening (--proxy-screen / proxy_screen=True) trains "
+            "its surrogate from the shared cache's accumulated corpus and "
+            "therefore requires shared_cache=True (--shared-cache)"
         )
     if cache_replicas is not None:
         if not isinstance(cache_replicas, int) or isinstance(
@@ -322,6 +329,13 @@ def resolve_execution_backend(
         if shared_cache and out_dir is not None and server_cache_url is None
         else None
     )
+    if proxy_screen and server_cache_url is None and shared_cache_dir is None:
+        raise ExecutorError(
+            "proxy screening needs a shared cache tier to harvest its "
+            "training corpus from: pass out_dir (--out-dir, file-backed "
+            "tier) or a service_url (server-backed tier) alongside "
+            "shared_cache"
+        )
     return backend, server_cache_url, shared_cache_dir
 
 
@@ -379,6 +393,16 @@ class TrialTask:
     #: pure wall-clock knob — byte-identical results — so it stays out
     #: of the durable-sweep fingerprint.
     pipeline: bool = False
+    #: Online-proxy screening (oversample-and-rank in front of real
+    #: evaluation). Unlike the dispatch knobs above these CHANGE the
+    #: search results — which points get simulated depends on the
+    #: surrogate — so all five participate in the durable-sweep
+    #: fingerprint whenever ``proxy_screen`` is on.
+    proxy_screen: bool = False
+    proxy_oversample: int = 4
+    proxy_topk: Optional[int] = None
+    proxy_refresh: float = 0.1
+    proxy_min_corpus: int = 64
 
     @property
     def source(self) -> str:
@@ -475,6 +499,11 @@ def run_trial(task: TrialTask) -> TrialOutcome:
                 source_tag=task.source if task.collect else None,
                 generation_dispatch=task.generation_dispatch,
                 pipeline=task.pipeline,
+                proxy_screen=task.proxy_screen,
+                proxy_oversample=task.proxy_oversample,
+                proxy_topk=task.proxy_topk,
+                proxy_refresh=task.proxy_refresh,
+                proxy_min_corpus=task.proxy_min_corpus,
             )
         except ServiceError as exc:
             # Identify the failing trial: under a process pool, the bare

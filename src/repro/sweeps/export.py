@@ -40,6 +40,10 @@ def report_to_rows(report: SweepReport) -> List[Dict[str, Any]]:
                     "shared_cache_hits": res.shared_cache_hits,
                     "remote_evals": res.remote_evals,
                     "remote_hosts": dict(res.remote_hosts),
+                    "proxy_screened": res.proxy_screened,
+                    "proxy_accepted": res.proxy_accepted,
+                    "proxy_refresh_evals": res.proxy_refresh_evals,
+                    "proxy_last_rmse": res.proxy_last_rmse,
                     "hyperparameters": dict(res.hyperparameters),
                     "best_action": dict(res.best_action),
                     "best_metrics": dict(res.best_metrics),
@@ -76,7 +80,9 @@ def save_report_csv(report: SweepReport, path: str | Path) -> None:
         "env_id", "agent", "trial", "n_samples", "best_fitness",
         "best_reward", "target_met", "wall_time_s", "sim_time_s",
         "cache_hits", "cache_misses", "shared_cache_hits", "remote_evals",
-        "remote_hosts", "hyperparameters", "best_action", "best_metrics",
+        "remote_hosts", "proxy_screened", "proxy_accepted",
+        "proxy_refresh_evals", "proxy_last_rmse",
+        "hyperparameters", "best_action", "best_metrics",
     ]
     with Path(path).open("w", newline="") as f:
         writer = csv.DictWriter(f, fieldnames=fieldnames)

@@ -79,6 +79,11 @@ _AUTO_WEIGHT_ALPHA = 0.4
 _AUTO_WEIGHT_FLOOR = 0.1
 #: Page size for the anti-entropy cache backfill of a revived host.
 _BACKFILL_PAGE = 200
+#: Smallest busy-time delta a refresh window may turn into a rate.
+#: With ``auto_weights_interval_s=0`` two healthz polls can land
+#: back-to-back; dividing a 1-evaluation delta by a sub-microsecond
+#: busy window would fold an absurd rate spike into the EWMA.
+_MIN_RATE_WINDOW_S = 1e-6
 
 
 def weighted_split(n: int, weights: Sequence[float]) -> List[int]:
@@ -482,15 +487,27 @@ class HostPool:
             with self._lock:
                 d_evals = evals - host.seen_evals
                 d_busy = busy - host.seen_busy_s
+                if d_evals < 0 or d_busy < 0:
+                    # Counters went backwards: the host restarted.
+                    # Re-baseline and wait for a fresh window.
+                    host.seen_evals = evals
+                    host.seen_busy_s = busy
+                    continue
+                if d_evals == 0 or d_busy < _MIN_RATE_WINDOW_S:
+                    # Zero-delta (or sub-epsilon) window — nothing to
+                    # measure. Crucially, do NOT advance the baseline:
+                    # with interval 0, back-to-back polls would
+                    # otherwise consume the accumulation window and a
+                    # later poll would see a 0-or-spike rate.
+                    continue
                 host.seen_evals = evals
                 host.seen_busy_s = busy
-                if d_evals > 0 and d_busy > 0:
-                    rate = d_evals / d_busy
-                    host.rate_ewma = (
-                        rate if host.rate_ewma is None
-                        else _AUTO_WEIGHT_ALPHA * rate
-                        + (1.0 - _AUTO_WEIGHT_ALPHA) * host.rate_ewma
-                    )
+                rate = d_evals / d_busy
+                host.rate_ewma = (
+                    rate if host.rate_ewma is None
+                    else _AUTO_WEIGHT_ALPHA * rate
+                    + (1.0 - _AUTO_WEIGHT_ALPHA) * host.rate_ewma
+                )
         with self._lock:
             rated = [
                 h.rate_ewma for h in self._hosts if h.rate_ewma is not None

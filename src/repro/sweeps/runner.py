@@ -95,6 +95,33 @@ class SweepReport:
         """Total seconds spent inside cost models across all trials."""
         return sum(r.sim_time_s for rs in self.results.values() for r in rs)
 
+    @property
+    def proxy_screened(self) -> int:
+        """Generation proposals scored by the online proxy screen."""
+        return sum(r.proxy_screened for rs in self.results.values() for r in rs)
+
+    @property
+    def proxy_accepted(self) -> int:
+        """Screened proposals that went on to real evaluation (top-k
+        plus the honesty-refresh slice); ``proxy_screened -
+        proxy_accepted`` were answered by the surrogate alone."""
+        return sum(r.proxy_accepted for rs in self.results.values() for r in rs)
+
+    @property
+    def proxy_refresh_evals(self) -> int:
+        """Real evaluations spent ground-truthing the refresh slice."""
+        return sum(
+            r.proxy_refresh_evals for rs in self.results.values() for r in rs
+        )
+
+    @property
+    def proxy_last_rmse(self) -> float:
+        """Worst last-refit relative validation RMSE across trials."""
+        return max(
+            (r.proxy_last_rmse for rs in self.results.values() for r in rs),
+            default=0.0,
+        )
+
     @classmethod
     def from_shards(
         cls, out_dir: Union[str, Path], allow_partial: bool = False
@@ -223,6 +250,14 @@ class SweepReport:
             lines.append(
                 f"shared cache: {self.shared_cache_hits} cross-trial hits"
             )
+        if self.proxy_screened:
+            lines.append(
+                f"proxy screen: {self.proxy_screened} proposals scored, "
+                f"{self.proxy_accepted} simulated "
+                f"({self.proxy_screened - self.proxy_accepted} answered by "
+                f"the surrogate, {self.proxy_refresh_evals} refresh evals, "
+                f"worst val RMSE {self.proxy_last_rmse:.3f})"
+            )
         if self.remote_evals:
             line = f"evaluation service: {self.remote_evals} remote evaluations"
             by_host = self.remote_evals_by_host
@@ -290,6 +325,11 @@ def run_lottery_sweep(
     pipeline: bool = False,
     auto_weights: bool = False,
     cache_replicas: Optional[int] = None,
+    proxy_screen: bool = False,
+    proxy_oversample: int = 4,
+    proxy_topk: Optional[int] = None,
+    proxy_refresh: float = 0.1,
+    proxy_min_corpus: int = 64,
 ) -> SweepReport:
     """Run the hyperparameter-lottery experiment.
 
@@ -428,6 +468,32 @@ def run_lottery_sweep(
         fail over to a replica and revived hosts are backfilled.
         Requires ``shared_cache=True`` with ``service_url``. A
         durability knob, outside the durable-sweep fingerprint.
+    proxy_screen:
+        Online surrogate pre-screening: every trial trains an
+        :class:`~repro.proxy.online.OnlineProxy` from the shared cache
+        tier's accumulated corpus and only simulates the proxy's top
+        picks of each proposed generation (plus a ``proxy_refresh``
+        honesty slice) — see :func:`repro.agents.base.run_agent`.
+        Requires ``shared_cache=True``. Unlike the dispatch knobs this
+        **changes the search results**, so it and the four knobs below
+        participate in the durable-sweep fingerprint whenever it is
+        on (an unscreened sweep keeps its historical fingerprint).
+    proxy_oversample:
+        Oversampling factor: of each proposed generation only
+        ``ceil(generation / proxy_oversample)`` points are really
+        simulated (unless ``proxy_topk`` pins the count directly).
+    proxy_topk:
+        Exact number of real evaluations per screened generation
+        (overrides the ``proxy_oversample``-derived default).
+    proxy_refresh:
+        Fraction (of top-k) of additional ground-truth evaluations
+        drawn from the *rejected* points by a seeded RNG every
+        generation, keeping the proxy's corpus unbiased.
+    proxy_min_corpus:
+        Cold-start gate: screening stays off (plain dispatch,
+        byte-identical to an unscreened run) until the harvested
+        corpus holds this many points and validation RMSE clears the
+        proxy's gate.
     """
     if n_trials < 1 or n_samples < 1:
         raise ArchGymError("n_trials and n_samples must be >= 1")
@@ -455,6 +521,7 @@ def run_lottery_sweep(
         batch=service_batch,
         auto_weights=auto_weights,
         cache_replicas=cache_replicas,
+        proxy_screen=proxy_screen,
     )
 
     # Draw every trial's lottery ticket in the same order the serial
@@ -480,6 +547,11 @@ def run_lottery_sweep(
                     cache_replicas=cache_replicas,
                     generation_dispatch=generation_dispatch,
                     pipeline=pipeline,
+                    proxy_screen=proxy_screen,
+                    proxy_oversample=proxy_oversample,
+                    proxy_topk=proxy_topk,
+                    proxy_refresh=proxy_refresh,
+                    proxy_min_corpus=proxy_min_corpus,
                 )
             )
 
@@ -504,16 +576,38 @@ def run_lottery_sweep(
 
     if env_signature is None:
         env_signature = getattr(env_factory, "fingerprint_signature", None)
-    fingerprint = sweep_fingerprint(
-        kind="lottery-sweep",
-        env_id=env_id,
-        env_signature=env_signature,
-        agents=list(agents),
-        n_trials=n_trials,
-        n_samples=n_samples,
-        seed=seed,
-        collect=collect_dataset,
-    )
+    if proxy_screen:
+        # Screening changes which design points get simulated, so all
+        # five proxy knobs pin the fingerprint. The unscreened call
+        # below stays knob-free on purpose: every pre-existing shard
+        # directory keeps its historical fingerprint and remains
+        # resumable.
+        fingerprint = sweep_fingerprint(
+            kind="lottery-sweep",
+            env_id=env_id,
+            env_signature=env_signature,
+            agents=list(agents),
+            n_trials=n_trials,
+            n_samples=n_samples,
+            seed=seed,
+            collect=collect_dataset,
+            proxy_screen=proxy_screen,
+            proxy_oversample=proxy_oversample,
+            proxy_topk=proxy_topk,
+            proxy_refresh=proxy_refresh,
+            proxy_min_corpus=proxy_min_corpus,
+        )
+    else:
+        fingerprint = sweep_fingerprint(
+            kind="lottery-sweep",
+            env_id=env_id,
+            env_signature=env_signature,
+            agents=list(agents),
+            n_trials=n_trials,
+            n_samples=n_samples,
+            seed=seed,
+            collect=collect_dataset,
+        )
     manifest = {
         "fingerprint": fingerprint,
         "kind": "lottery-sweep",
@@ -527,6 +621,14 @@ def run_lottery_sweep(
         "n_tasks": len(tasks),
         "workers": workers,
     }
+    if proxy_screen:
+        manifest.update(
+            proxy_screen=proxy_screen,
+            proxy_oversample=proxy_oversample,
+            proxy_topk=proxy_topk,
+            proxy_refresh=proxy_refresh,
+            proxy_min_corpus=proxy_min_corpus,
+        )
 
     start = time.perf_counter()
     # Stream each finished trial straight to disk and drop it — memory
