@@ -1,0 +1,431 @@
+"""Asyncio-native HTTP client for the evaluation service.
+
+:class:`AsyncServiceClient` is the coroutine sibling of
+:class:`~repro.service.client.ServiceClient`: the same REST surface,
+the same retry/timeout/backoff policy, the same typed errors — but
+every request rides :func:`asyncio.open_connection` instead of a
+blocking ``http.client`` socket, so one event loop (and therefore one
+OS thread) can hold hundreds of requests in flight at once. That is
+the scaling step the paper's §6 regime demands: a pool of hundreds of
+simulator hosts driven by thread-per-host workers burns an OS thread
+(and GIL churn) apiece, while the async transport drives the whole
+fleet from a single runner thread.
+
+The wire protocol is hand-rolled HTTP/1.1 — deliberately: the server
+(:mod:`repro.service.server`) always answers with a ``Content-Length``
+header and keep-alive, so request/response framing is a status line,
+a header block, and ``readexactly(content_length)``. No stdlib HTTP
+stack is missing; we already speak this dialect on the sync side.
+
+Connection pool
+---------------
+Each client keeps a bounded pool of persistent connections to its one
+host: at most ``max_connections`` sockets are ever checked out
+concurrently (an :class:`asyncio.Semaphore`, created lazily inside the
+running loop for 3.9 compatibility), and idle connections are parked
+for reuse. A *stale* socket — the server closed an idle keep-alive
+connection between requests — is re-sent exactly once without
+consuming a retry, mirroring the sync client: the bytes never reached
+a live peer. ``requests_sent`` / ``connections_opened`` count round
+trips and sockets exactly like the sync client's counters (no lock:
+all mutation happens on the owning event loop).
+
+Retry policy
+------------
+Identical to the sync client, coroutine-shaped: transport failures
+(connection refused/reset, timeout, torn body) retry up to ``retries``
+times with exponential backoff capped at ``backoff_cap_s`` total
+sleep (``await asyncio.sleep``), exhaustion raises
+:class:`~repro.core.errors.ServiceTransportError` with the same
+message shape, and server-produced 4xx/5xx bodies are never retried.
+Response bodies are validated through the same
+:mod:`repro.service.wire` parsers the sync client uses, so the two
+transports cannot drift on schema — which is half of what keeps async
+dispatch byte-identical to threaded dispatch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import deque
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+from urllib.parse import urlsplit
+
+from repro.core.errors import ServiceError, ServiceTransportError
+from repro.service.wire import (
+    dump_body,
+    jsonify,
+    key_to_token,
+    parse_batch_response,
+    parse_cache_listing,
+    parse_metrics_response,
+)
+
+__all__ = ["AsyncServiceClient"]
+
+
+class _TransportFailure(Exception):
+    """Transport-level failure below the retry policy: malformed
+    framing, a connection that died mid-response — retryable, like an
+    ``OSError`` on the sync side."""
+
+
+class _StaleSocket(_TransportFailure):
+    """A reused keep-alive connection was closed by the server between
+    requests; nothing reached a live peer, so one transparent re-send
+    does not consume a retry (the async twin of the sync client's
+    ``_STALE_SOCKET_ERRORS``)."""
+
+
+#: Exceptions one attempt may raise that the retry loop absorbs.
+#: ``TimeoutError`` covers 3.11+ (where ``asyncio.TimeoutError`` is the
+#: builtin, an ``OSError`` sibling); ``asyncio.TimeoutError`` covers
+#: 3.9/3.10 where it is a distinct class. ``EOFError`` is
+#: ``asyncio.IncompleteReadError``'s base (torn body mid-read).
+_RETRYABLE = (
+    OSError,
+    EOFError,
+    TimeoutError,
+    asyncio.TimeoutError,
+    _TransportFailure,
+)
+
+
+class _Conn:
+    """One open connection: a reader/writer pair."""
+
+    __slots__ = ("reader", "writer")
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+
+
+class AsyncServiceClient:
+    """Talk to one evaluation service from an event loop.
+
+    Parameters mirror :class:`~repro.service.client.ServiceClient`
+    (``base_url``, ``timeout_s``, ``retries``, ``backoff_s``,
+    ``backoff_cap_s``) plus:
+
+    max_connections:
+        Ceiling on concurrently checked-out sockets to this host. The
+        pool parks idle connections for keep-alive reuse; a caller
+        needing more than ``max_connections`` simultaneous requests
+        waits on the pool semaphore instead of opening more sockets.
+
+    Single-loop by contract: all coroutines must run on one event
+    loop (the pool's runner loop). Counters are plain ints for the
+    same reason — no cross-thread access, no lock.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 60.0,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        max_connections: int = 8,
+    ) -> None:
+        if not base_url.startswith(("http://", "https://")):
+            raise ServiceError(
+                f"service url must start with http:// or https://, got {base_url!r}"
+            )
+        if timeout_s <= 0:
+            raise ServiceError(f"timeout_s must be > 0, got {timeout_s}")
+        if retries < 0:
+            raise ServiceError(f"retries must be >= 0, got {retries}")
+        if backoff_cap_s < 0:
+            raise ServiceError(f"backoff_cap_s must be >= 0, got {backoff_cap_s}")
+        if max_connections < 1:
+            raise ServiceError(
+                f"max_connections must be >= 1, got {max_connections}"
+            )
+        split = urlsplit(base_url)
+        if not split.netloc:
+            raise ServiceError(f"service url has no host: {base_url!r}")
+        self._scheme = split.scheme
+        self._netloc = split.netloc
+        self._host = split.hostname or ""
+        self._port = split.port or (443 if split.scheme == "https" else 80)
+        self._path_prefix = split.path.rstrip("/")
+        self.base_url = f"{split.scheme}://{split.netloc}{self._path_prefix}"
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self.max_connections = max_connections
+        #: Round trips attempted (including retries) — same meaning as
+        #: the sync client's counter.
+        self.requests_sent = 0
+        #: Sockets opened; stays low while keep-alive reuse holds.
+        self.connections_opened = 0
+        self._idle: "deque[_Conn]" = deque()
+        # Created lazily inside the running loop: on 3.9 an
+        # asyncio.Semaphore binds its event loop at construction time.
+        self._sem: Optional[asyncio.Semaphore] = None
+
+    # -- connection pool ----------------------------------------------------------
+
+    def _bound(self) -> asyncio.Semaphore:
+        if self._sem is None:
+            self._sem = asyncio.Semaphore(self.max_connections)
+        return self._sem
+
+    async def _get_conn(self) -> Tuple[_Conn, bool]:
+        """An idle pooled connection (reused) or a fresh one."""
+        while self._idle:
+            conn = self._idle.popleft()
+            if not conn.writer.is_closing():
+                return conn, True
+            self._discard(conn)
+        kwargs: Dict[str, Any] = {}
+        if self._scheme == "https":
+            kwargs["ssl"] = True
+        reader, writer = await asyncio.open_connection(
+            self._host, self._port, **kwargs
+        )
+        self.connections_opened += 1
+        return _Conn(reader, writer), False
+
+    def _discard(self, conn: _Conn) -> None:
+        try:
+            conn.writer.close()
+        except OSError:
+            pass
+
+    async def close(self) -> None:
+        """Close every idle pooled connection. Resource hygiene only —
+        the next request transparently opens a fresh socket."""
+        while self._idle:
+            self._discard(self._idle.popleft())
+
+    # -- transport ----------------------------------------------------------------
+
+    async def _roundtrip(
+        self, conn: _Conn, method: str, path: str, body: Optional[bytes],
+        reused: bool,
+    ) -> Tuple[int, bytes, bool]:
+        """One request/response; returns (status, body, will_close)."""
+        self.requests_sent += 1
+        payload = body or b""
+        head = (
+            f"{method} {self._path_prefix + path} HTTP/1.1\r\n"
+            f"Host: {self._netloc}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "\r\n"
+        ).encode("ascii")
+        conn.writer.write(head + payload)
+        await conn.writer.drain()
+        status_line = await conn.reader.readline()
+        if not status_line:
+            if reused:
+                # The server closed the idle socket between requests.
+                raise _StaleSocket("connection closed before the status line")
+            raise _TransportFailure("no status line from a fresh connection")
+        parts = status_line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise _TransportFailure(f"malformed status line {status_line!r}")
+        status = int(parts[1])
+        http10 = parts[0].upper().startswith("HTTP/1.0")
+        headers: Dict[str, str] = {}
+        while True:
+            line = await conn.reader.readline()
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line:
+                raise _TransportFailure("connection closed mid-headers")
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length_text = headers.get("content-length")
+        if length_text is None or not length_text.isdigit():
+            # The server always frames replies with Content-Length
+            # (HTTP/1.1 keep-alive requires it); anything else is a
+            # framing failure we cannot safely read past.
+            raise _TransportFailure(
+                f"response has no usable Content-Length: {length_text!r}"
+            )
+        raw = await conn.reader.readexactly(int(length_text))
+        will_close = http10 or headers.get("connection", "").lower() == "close"
+        return status, raw, will_close
+
+    async def _send(
+        self, method: str, path: str, body: Optional[bytes]
+    ) -> Tuple[int, bytes]:
+        """One attempt, with the free stale-socket re-send."""
+        async with self._bound():
+            conn, reused = await self._get_conn()
+            try:
+                status, raw, will_close = await self._roundtrip(
+                    conn, method, path, body, reused
+                )
+            except _StaleSocket:
+                self._discard(conn)
+                # _StaleSocket is only raised on a reused connection:
+                # re-send once on a fresh socket, not as a retry.
+                conn, _ = await self._get_conn()
+                try:
+                    status, raw, will_close = await self._roundtrip(
+                        conn, method, path, body, False
+                    )
+                except BaseException:
+                    self._discard(conn)
+                    raise
+            except BaseException:
+                # Timeout cancellation, ConnectionReset, torn read —
+                # the socket's state is unknown; never park it.
+                self._discard(conn)
+                raise
+            if will_close:
+                self._discard(conn)
+            else:
+                self._idle.append(conn)
+            return status, raw
+
+    async def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One API call under the retry policy; returns (status, body).
+
+        Mirrors the sync client's loop line for line: capped
+        exponential backoff, transport failures and torn success
+        bodies retried, server-produced non-JSON error bodies not.
+        """
+        body = dump_body(payload) if payload is not None else None
+        attempts = self.retries + 1
+        slept_total = 0.0
+        last_error: Optional[BaseException] = None
+        for attempt in range(attempts):
+            if attempt:
+                delay = min(
+                    self.backoff_s * (2 ** (attempt - 1)),
+                    self.backoff_cap_s - slept_total,
+                )
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                    slept_total += delay
+            try:
+                status, raw = await asyncio.wait_for(
+                    self._send(method, path, body), self.timeout_s
+                )
+            except _RETRYABLE as exc:
+                last_error = exc
+                continue
+            try:
+                parsed = json.loads(raw.decode("utf-8")) if raw else {}
+            except (ValueError, UnicodeDecodeError) as exc:
+                if status >= 400:
+                    return status, {
+                        "error": raw[:200].decode("utf-8", errors="replace")
+                    }
+                last_error = exc
+                continue
+            if not isinstance(parsed, dict):
+                if status >= 400:
+                    return status, {"error": str(parsed)}
+                last_error = ValueError(f"expected a JSON object, got {parsed!r}")
+                continue
+            return status, parsed
+        raise ServiceTransportError(
+            f"{method} {self.base_url + path} failed after {attempts} attempt(s) "
+            f"(timeout {self.timeout_s}s/attempt): {last_error!r}"
+        )
+
+    async def _checked(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        status, parsed = await self._request(method, path, payload)
+        if status >= 400:
+            raise ServiceError(
+                f"{method} {self.base_url + path} -> HTTP {status}: "
+                f"{parsed.get('error', parsed)}"
+            )
+        return parsed
+
+    # -- API ----------------------------------------------------------------------
+
+    async def healthz(self) -> Dict[str, Any]:
+        """The server's liveness/inventory document."""
+        return await self._checked("GET", "/healthz")
+
+    async def evaluate(
+        self,
+        env: str,
+        action: Dict[str, Any],
+        env_kwargs: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, float]:
+        """Evaluate one design point on the server's ``env``."""
+        request: Dict[str, Any] = {"env": env, "action": jsonify(action)}
+        if env_kwargs:
+            request["kwargs"] = jsonify(env_kwargs)
+        parsed = await self._checked("POST", "/evaluate", request)
+        return parse_metrics_response(parsed, f"evaluate response for env {env!r}")
+
+    async def evaluate_batch(
+        self,
+        env: str,
+        actions: Sequence[Dict[str, Any]],
+        env_kwargs: Optional[Dict[str, Any]] = None,
+        memoize: bool = True,
+    ) -> List[Dict[str, float]]:
+        """Evaluate many design points in one round trip (request
+        order in, request order out — the same contract as the sync
+        client, down to the parser that validates the reply)."""
+        if not actions:
+            raise ServiceError("evaluate_batch needs at least one action")
+        request: Dict[str, Any] = {
+            "env": env,
+            "actions": [jsonify(a) for a in actions],
+        }
+        if env_kwargs:
+            request["kwargs"] = jsonify(env_kwargs)
+        if not memoize:
+            request["memoize"] = False
+        parsed = await self._checked("POST", "/evaluate_batch", request)
+        return parse_batch_response(parsed, env, len(actions))
+
+    async def cache_get(self, key_str: str) -> Optional[Dict[str, float]]:
+        """Server-cache lookup by encoded key; ``None`` on a miss."""
+        status, parsed = await self._request(
+            "GET", f"/cache/{key_to_token(key_str)}"
+        )
+        if status == 404:
+            return None
+        if status >= 400:
+            raise ServiceError(
+                f"cache GET -> HTTP {status}: {parsed.get('error', parsed)}"
+            )
+        return parse_metrics_response(parsed, "cache response")
+
+    async def cache_put(self, key_str: str, metrics: Dict[str, float]) -> None:
+        """Store one entry in the server cache."""
+        await self._checked(
+            "PUT", f"/cache/{key_to_token(key_str)}", {"metrics": jsonify(metrics)}
+        )
+
+    async def cache_size(self) -> int:
+        """Distinct keys currently held by the server cache."""
+        parsed = await self._checked("GET", "/cache")
+        return int(parsed.get("size", 0))
+
+    async def cache_list(
+        self, offset: int = 0, limit: int = 500
+    ) -> Tuple[List[Tuple[str, Dict[str, float]]], int]:
+        """One page of the server cache in sorted-key order — the same
+        ``(entries, total)`` pagination contract as the sync client
+        (what the pool's async anti-entropy backfill walks)."""
+        parsed = await self._checked(
+            "GET", f"/cache?offset={int(offset)}&limit={int(limit)}"
+        )
+        return parse_cache_listing(parsed)
+
+    def __repr__(self) -> str:
+        return (
+            f"AsyncServiceClient(base_url={self.base_url!r}, "
+            f"timeout_s={self.timeout_s}, retries={self.retries})"
+        )

@@ -46,7 +46,14 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from urllib.parse import urlsplit
 
 from repro.core.errors import ServiceError, ServiceTransportError
-from repro.service.wire import dump_body, jsonify, key_to_token
+from repro.service.wire import (
+    dump_body,
+    jsonify,
+    key_to_token,
+    parse_batch_response,
+    parse_cache_listing,
+    parse_metrics_response,
+)
 
 __all__ = ["ServiceClient"]
 
@@ -122,6 +129,11 @@ class ServiceClient:
         # are not thread-safe, and a thread-local pool gives reuse
         # without socket-level locking on the hot path.
         self._conn_local = threading.local()
+        # Every live connection, across all threads (under _stats_lock).
+        # A dispatch thread that exits leaves its thread-local socket
+        # unreachable but open; close() walks this registry so teardown
+        # reclaims them all, not just the calling thread's.
+        self._all_conns: set = set()
 
     # -- connection pool ----------------------------------------------------------
 
@@ -139,24 +151,37 @@ class ServiceClient:
         self._conn_local.conn = conn
         with self._stats_lock:
             self.connections_opened += 1
+            self._all_conns.add(conn)
         return conn, False
 
     def _drop_conn(self) -> None:
         conn = getattr(self._conn_local, "conn", None)
         self._conn_local.conn = None
         if conn is not None:
+            with self._stats_lock:
+                self._all_conns.discard(conn)
             try:
                 conn.close()
             except OSError:
                 pass
 
     def close(self) -> None:
-        """Close the calling thread's persistent connection (if any).
+        """Close every persistent connection this client ever opened —
+        including those belonging to dispatch threads that have since
+        exited, which a per-thread close could never reach.
 
-        Purely a resource-hygiene call: the next request transparently
-        opens a fresh socket.
+        Teardown-only by contract: no other thread may be mid-request.
+        Purely a resource-hygiene call either way — the next request
+        transparently opens (and counts) a fresh socket.
         """
         self._drop_conn()
+        with self._stats_lock:
+            conns, self._all_conns = list(self._all_conns), set()
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
 
     # -- transport ----------------------------------------------------------------
 
@@ -284,12 +309,7 @@ class ServiceClient:
         if env_kwargs:
             request["kwargs"] = jsonify(env_kwargs)
         parsed = self._checked("POST", "/evaluate", request)
-        metrics = parsed.get("metrics")
-        if not isinstance(metrics, dict):
-            raise ServiceError(
-                f"evaluate response for env {env!r} has no metrics object: {parsed!r}"
-            )
-        return {str(k): float(v) for k, v in metrics.items()}
+        return parse_metrics_response(parsed, f"evaluate response for env {env!r}")
 
     def evaluate_batch(
         self,
@@ -316,20 +336,7 @@ class ServiceClient:
         if not memoize:
             request["memoize"] = False
         parsed = self._checked("POST", "/evaluate_batch", request)
-        metrics_list = parsed.get("metrics")
-        if not isinstance(metrics_list, list) or len(metrics_list) != len(actions):
-            raise ServiceError(
-                f"evaluate_batch response for env {env!r} must carry "
-                f"{len(actions)} metric objects: {parsed!r}"
-            )
-        out: List[Dict[str, float]] = []
-        for i, metrics in enumerate(metrics_list):
-            if not isinstance(metrics, dict):
-                raise ServiceError(
-                    f"evaluate_batch entry {i} is not a metrics object: {metrics!r}"
-                )
-            out.append({str(k): float(v) for k, v in metrics.items()})
-        return out
+        return parse_batch_response(parsed, env, len(actions))
 
     def cache_get(self, key_str: str) -> Optional[Dict[str, float]]:
         """Server-cache lookup by encoded key; ``None`` on a miss."""
@@ -340,10 +347,7 @@ class ServiceClient:
             raise ServiceError(
                 f"cache GET -> HTTP {status}: {parsed.get('error', parsed)}"
             )
-        metrics = parsed.get("metrics")
-        if not isinstance(metrics, dict):
-            raise ServiceError(f"cache response has no metrics object: {parsed!r}")
-        return {str(k): float(v) for k, v in metrics.items()}
+        return parse_metrics_response(parsed, "cache response")
 
     def cache_put(self, key_str: str, metrics: Dict[str, float]) -> None:
         """Store one entry in the server cache."""
@@ -369,26 +373,7 @@ class ServiceClient:
         parsed = self._checked(
             "GET", f"/cache?offset={int(offset)}&limit={int(limit)}"
         )
-        raw_entries = parsed.get("entries")
-        if not isinstance(raw_entries, list):
-            raise ServiceError(
-                f"cache listing response has no entries list: {parsed!r}"
-            )
-        entries: List[Tuple[str, Dict[str, float]]] = []
-        for i, item in enumerate(raw_entries):
-            if (
-                not isinstance(item, (list, tuple))
-                or len(item) != 2
-                or not isinstance(item[1], dict)
-            ):
-                raise ServiceError(
-                    f"cache listing entry {i} is not a [key, metrics] "
-                    f"pair: {item!r}"
-                )
-            entries.append(
-                (str(item[0]), {str(k): float(v) for k, v in item[1].items()})
-            )
-        return entries, int(parsed.get("size", 0))
+        return parse_cache_listing(parsed)
 
     def __repr__(self) -> str:
         return (

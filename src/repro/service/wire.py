@@ -42,6 +42,9 @@ __all__ = [
     "clean_metrics",
     "parse_batch_request",
     "parse_cache_query",
+    "parse_metrics_response",
+    "parse_batch_response",
+    "parse_cache_listing",
     "key_to_token",
     "token_to_key",
 ]
@@ -197,6 +200,64 @@ def parse_cache_query(query: str) -> Tuple[int, int]:
     if limit < 1:
         raise ServiceError(f"cache listing limit must be >= 1, got {limit}")
     return offset, min(limit, MAX_CACHE_PAGE)
+
+
+def parse_metrics_response(parsed: Dict[str, Any], what: str) -> Dict[str, float]:
+    """Validate one ``{"metrics": {...}}`` response body.
+
+    Shared by the sync and async clients so both enforce — and report —
+    exactly the same schema; ``what`` names the call for the error.
+    """
+    metrics = parsed.get("metrics")
+    if not isinstance(metrics, dict):
+        raise ServiceError(f"{what} has no metrics object: {parsed!r}")
+    return {str(k): float(v) for k, v in metrics.items()}
+
+
+def parse_batch_response(
+    parsed: Dict[str, Any], env: str, n_actions: int
+) -> list:
+    """Validate one ``/evaluate_batch`` response body: a ``metrics``
+    list carrying one object per requested action, in request order."""
+    metrics_list = parsed.get("metrics")
+    if not isinstance(metrics_list, list) or len(metrics_list) != n_actions:
+        raise ServiceError(
+            f"evaluate_batch response for env {env!r} must carry "
+            f"{n_actions} metric objects: {parsed!r}"
+        )
+    out = []
+    for i, metrics in enumerate(metrics_list):
+        if not isinstance(metrics, dict):
+            raise ServiceError(
+                f"evaluate_batch entry {i} is not a metrics object: {metrics!r}"
+            )
+        out.append({str(k): float(v) for k, v in metrics.items()})
+    return out
+
+
+def parse_cache_listing(parsed: Dict[str, Any]) -> Tuple[list, int]:
+    """Validate one ``GET /cache?offset=...`` listing page: returns
+    ``(entries, total)`` with entries as ``(key_str, metrics)`` pairs."""
+    raw_entries = parsed.get("entries")
+    if not isinstance(raw_entries, list):
+        raise ServiceError(
+            f"cache listing response has no entries list: {parsed!r}"
+        )
+    entries = []
+    for i, item in enumerate(raw_entries):
+        if (
+            not isinstance(item, (list, tuple))
+            or len(item) != 2
+            or not isinstance(item[1], dict)
+        ):
+            raise ServiceError(
+                f"cache listing entry {i} is not a [key, metrics] "
+                f"pair: {item!r}"
+            )
+        entries.append(
+            (str(item[0]), {str(k): float(v) for k, v in item[1].items()})
+        )
+    return entries, int(parsed.get("size", 0))
 
 
 def key_to_token(key_str: str) -> str:

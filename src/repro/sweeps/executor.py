@@ -37,6 +37,7 @@ __all__ = [
     "TrialTask",
     "TrialOutcome",
     "clear_backend_cache",
+    "close_cached_backends",
     "execute_trials",
     "parse_weighted_url",
     "resolve_execution_backend",
@@ -112,6 +113,11 @@ class BackendSpec:
     #: per-host service rates (a placement knob — results are
     #: byte-identical either way).
     auto_weights: bool = False
+    #: Run a multi-host pool's scatter/stream fan-out as coroutine
+    #: tasks on one event loop instead of worker threads (a pure
+    #: thread-count/wall-clock knob — results are byte-identical
+    #: either way).
+    async_dispatch: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in ("local", "remote"):
@@ -160,6 +166,7 @@ class BackendSpec:
                 list(self.service_weights) if self.service_weights else None
             ),
             auto_weights=self.auto_weights,
+            async_dispatch=self.async_dispatch,
             timeout_s=self.timeout_s,
             retries=self.retries,
         )
@@ -185,6 +192,7 @@ def _backend_cache_key(spec: BackendSpec) -> Tuple[Any, ...]:
         spec.service_urls,
         spec.service_weights,
         spec.auto_weights,
+        spec.async_dispatch,
         json.dumps(spec.env_kwargs, sort_keys=True, default=str)
         if spec.env_kwargs
         else None,
@@ -216,9 +224,28 @@ def build_backend(spec: Optional[BackendSpec]) -> Optional[Any]:
     return backend
 
 
+def close_cached_backends() -> None:
+    """Close every cached backend's transport connections, keeping the
+    backend objects (and so a pool's quarantine memory and counters)
+    cached.
+
+    The trial-teardown hook: a sweep batch leaves the process with
+    zero open sockets — including keep-alive connections owned by
+    dispatch threads that have since exited, and the async dispatch
+    loop — while the next batch still reuses the memoized backends
+    (their connections and loop reopen lazily on first dispatch).
+    """
+    for backend in _BACKEND_CACHE.values():
+        close = getattr(backend, "close", None)
+        if close is not None:
+            close()
+
+
 def clear_backend_cache() -> None:
     """Drop the per-process backend memo (tests that restart services
-    on reused URLs need a clean slate)."""
+    on reused URLs need a clean slate), closing the evicted backends'
+    connections on the way out."""
+    close_cached_backends()
     _BACKEND_CACHE.clear()
 
 
@@ -231,6 +258,7 @@ def resolve_execution_backend(
     retries: Optional[int] = None,
     batch: bool = False,
     auto_weights: bool = False,
+    async_dispatch: bool = False,
     cache_replicas: Optional[int] = None,
     proxy_screen: bool = False,
 ) -> Tuple[Optional[BackendSpec], Optional[str], Optional[str]]:
@@ -246,7 +274,8 @@ def resolve_execution_backend(
     :class:`BackendSpec` (with any ``timeout_s``/``retries``
     overrides; ``None`` keeps the spec defaults, ``batch`` routes
     through ``/evaluate_batch``, ``auto_weights`` lets a multi-host
-    pool self-tune its dispatch weights); ``shared_cache`` prefers the
+    pool self-tune its dispatch weights, ``async_dispatch`` runs the
+    pool's fan-out on one event loop); ``shared_cache`` prefers the
     service's ``/cache`` store (cross-machine; the *first* host's, so
     every trial reads one map — with writes replicated to
     ``cache_replicas`` pool hosts, see
@@ -258,6 +287,12 @@ def resolve_execution_backend(
             "auto-weights (--auto-weights / auto_weights=True) tunes a "
             "remote host pool's dispatch weights and therefore requires "
             "a service_url"
+        )
+    if async_dispatch and service_url is None:
+        raise ExecutorError(
+            "async dispatch (--async-dispatch / async_dispatch=True) "
+            "runs a remote host pool's fan-out on one event loop and "
+            "therefore requires a service_url"
         )
     if proxy_screen and not shared_cache:
         raise ExecutorError(
@@ -319,6 +354,7 @@ def resolve_execution_backend(
             service_urls=urls,
             service_weights=weights,
             auto_weights=auto_weights,
+            async_dispatch=async_dispatch,
             env_kwargs=env_kwargs,
             batch=batch,
             **overrides,
@@ -570,12 +606,18 @@ def execute_trials(
     outcomes: List[TrialOutcome] = []
 
     if workers == 1:
-        for task in ordered:
-            outcome = run_trial(task)
-            if on_outcome is not None:
-                on_outcome(outcome)
-            if keep_outcomes:
-                outcomes.append(outcome)
+        try:
+            for task in ordered:
+                outcome = run_trial(task)
+                if on_outcome is not None:
+                    on_outcome(outcome)
+                if keep_outcomes:
+                    outcomes.append(outcome)
+        finally:
+            # Trial teardown: leave no open sockets behind the batch.
+            # The memoized backends themselves survive (quarantine
+            # state, counters); connections reopen on next dispatch.
+            close_cached_backends()
         return outcomes
 
     _check_picklable(tasks)

@@ -11,15 +11,20 @@ Three batteries:
    bodies is retried, then quarantined; a restarted host is revived.
 3. **Parity** — the acceptance battery: one fixed-seed DRAM sweep run
    serial in-process, with ``workers=4``, against a single service,
-   and over a 2-host pool with batching enabled produces byte-identical
-   reports, datasets, and shard artifacts.
+   over a 2-host pool with batching enabled, and over the same pool
+   with ``async_dispatch`` (coroutine fan-out on one event loop)
+   produces byte-identical reports, datasets, and shard artifacts.
 4. **Generation parity** — the generation-native battery: a GA+ACO
    sweep run serial, with ``generation_dispatch`` in-process, with
-   ``generation_dispatch`` over a weighted 2-host pool, and in
+   ``generation_dispatch`` over a weighted 2-host pool, in
    ``pipeline`` mode (streaming dispatch with work stealing) both
-   in-process and over the pool produces byte-identical reports,
-   datasets, and shard artifacts, with the weight-2 host carrying the
-   larger share of the scattered generations.
+   in-process and over the pool, and with ``async_dispatch`` flipped
+   on for both pool modes produces byte-identical reports, datasets,
+   and shard artifacts, with the weight-2 host carrying the larger
+   share of the scattered generations.
+5. **Transport teardown** — the keep-alive leak regression: client,
+   pool, and cached-backend teardown reclaim every persistent socket
+   (including exited dispatch threads'), in both dispatch cores.
 """
 
 import json
@@ -505,6 +510,152 @@ class TestCacheBackfill:
         finally:
             restarted.stop()
 
+    @pytest.mark.parametrize(
+        "async_dispatch", [False, True], ids=["threaded", "async"]
+    )
+    def test_revival_and_backfill_ride_an_inflight_scatter(
+        self, two_services, async_dispatch
+    ):
+        """The hardest interleaving: the timed revival probe fires at
+        the entry of a scatter dispatch, so the anti-entropy backfill
+        runs while that same scatter is about to fan out — the revived
+        host must rejoin with a complete cache *and* serve part of the
+        very batch whose dispatch revived it. Both dispatch cores."""
+        a, b = two_services
+        url_b, port_b = b.url, b.port
+        client_a, seeded = self._seed(a.url, 4)
+        pool = HostPool(
+            [a.url, url_b], timeout_s=5.0, retries=0, backoff_s=0.01,
+            revive_after_s=0.05, async_dispatch=async_dispatch,
+        )
+        b.stop()
+        actions = [{"x": i % 8, "m": "a"} for i in range(8)]
+        # b's chunk fails over to a; b lands in quarantine.
+        metrics, hosts = pool.evaluate_batch_scatter(
+            "SvcCounting-v0", actions
+        )
+        assert pool.quarantined_urls == [url_b]
+        assert set(hosts) == {a.url}
+        donor_size = client_a.cache_size()
+        restarted = _service(port=port_b)
+        try:
+            time.sleep(0.1)  # let the rest period elapse
+            metrics, hosts = pool.evaluate_batch_scatter(
+                "SvcCounting-v0", actions
+            )
+            env = SvcCountingEnv()
+            assert metrics == [env.evaluate(x) for x in actions]
+            assert pool.quarantined_urls == []
+            assert pool.cache_backfills == donor_size
+            # The revived host answered part of the scatter that
+            # triggered its own revival — no warm-up round needed.
+            assert url_b in hosts and a.url in hosts
+            entries, total = ServiceClient(
+                url_b, timeout_s=5.0, retries=0
+            ).cache_list(limit=1000)
+            got = dict(entries)
+            for key_str, value in seeded.items():
+                assert got[key_str] == value
+        finally:
+            restarted.stop()
+            pool.close()
+
+
+# -- transport teardown -----------------------------------------------------------
+
+
+class TestTransportTeardown:
+    """The keep-alive leak regression: every persistent socket a trial
+    opened must be reclaimed at teardown — including sockets owned by
+    dispatch threads that have since exited, which no per-thread close
+    could reach."""
+
+    def test_client_close_reclaims_other_threads_connections(
+        self, two_services
+    ):
+        a, _ = two_services
+        client = ServiceClient(a.url, timeout_s=5.0, retries=0)
+        threads = [
+            threading.Thread(target=client.healthz) for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Three dispatch threads -> three keep-alive sockets, all of
+        # them unreachable per-thread now the threads have exited but
+        # still registered with the client.
+        assert client.connections_opened == 3
+        assert len(client._all_conns) == 3
+        client.close()
+        assert client._all_conns == set()
+        # Close is resource hygiene, not a lifecycle end: the next
+        # request transparently opens (and counts) a fresh socket.
+        client.healthz()
+        assert client.connections_opened == 4
+        client.close()
+
+    @pytest.mark.parametrize(
+        "async_dispatch", [False, True], ids=["threaded", "async"]
+    )
+    def test_pool_close_reclaims_every_host_transport(
+        self, two_services, async_dispatch
+    ):
+        a, b = two_services
+        pool = HostPool(
+            [a.url, b.url], timeout_s=5.0, retries=0,
+            async_dispatch=async_dispatch,
+        )
+        actions = [{"x": i % 8, "m": "a"} for i in range(8)]
+        pool.evaluate_batch_scatter("SvcCounting-v0", actions)
+        pool.close()
+        for host in pool._hosts:
+            assert host.client._all_conns == set()
+            assert host.probe_client._all_conns == set()
+            if async_dispatch:
+                assert not host.aio_client._idle
+                assert not host.aio_probe._idle
+        # No dispatch machinery left running either: scatter workers
+        # are per-call, and close() tears down the event-loop thread.
+        lingering = [
+            t.name
+            for t in threading.enumerate()
+            if t.name.startswith("hostpool-")
+        ]
+        assert lingering == []
+        # The pool stays usable; transports reopen lazily.
+        pool.evaluate("SvcCounting-v0", {"x": 0, "m": "a"})
+        pool.close()
+
+    def test_trial_teardown_closes_cached_backend_sockets(
+        self, two_services
+    ):
+        """The regression this battery exists for: a serial remote
+        sweep memoizes its backend per-process, and before the fix the
+        backend's clients kept their keep-alive sockets open forever.
+        ``execute_trials`` must close the transports at teardown while
+        the backend object — with its quarantine and counter state —
+        stays cached for the next trial batch."""
+        from repro.sweeps.executor import _BACKEND_CACHE
+
+        a, b = two_services
+        run_lottery_sweep(
+            SvcCountingEnv, workers=1,
+            service_url=[a.url, b.url], service_batch=True,
+            agents=("rw",), n_trials=1, n_samples=6, seed=3,
+        )
+        assert _BACKEND_CACHE  # the sweep memoized its backend
+        for backend in _BACKEND_CACHE.values():
+            pool = backend.client
+            opened = sum(
+                h.client.connections_opened + h.probe_client.connections_opened
+                for h in pool._hosts
+            )
+            assert opened > 0  # the sweep really held keep-alive sockets
+            for host in pool._hosts:
+                assert host.client._all_conns == set()
+                assert host.probe_client._all_conns == set()
+
 
 # -- self-tuning dispatch weights -------------------------------------------------
 
@@ -652,6 +803,11 @@ class TestFourModeParity:
                     service_batch=True,
                     out_dir=tmp_path / "hostpool", **self.KW
                 ),
+                "hostpool-async": run_lottery_sweep(
+                    factory, service_url=list(pool_urls),
+                    service_batch=True, async_dispatch=True,
+                    out_dir=tmp_path / "hostpool-async", **self.KW
+                ),
             }
         finally:
             single.stop()
@@ -662,7 +818,7 @@ class TestFourModeParity:
     def test_reports_bit_identical(self, modes):
         _, reports, _ = modes
         reference = _normalized(reports["serial"])
-        for mode in ("workers4", "service", "hostpool"):
+        for mode in ("workers4", "service", "hostpool", "hostpool-async"):
             assert _normalized(reports[mode]) == reference, mode
 
     def test_datasets_byte_identical(self, modes):
@@ -682,19 +838,20 @@ class TestFourModeParity:
         assert shard_names  # the durable path really produced shards
         for name in shard_names:
             reference = _normalized_shard_bytes(tmp_path / "serial" / name)
-            for mode in ("workers4", "service", "hostpool"):
+            for mode in ("workers4", "service", "hostpool", "hostpool-async"):
                 assert (
                     _normalized_shard_bytes(tmp_path / mode / name) == reference
                 ), f"{mode}/{name}"
 
     def test_both_pool_hosts_participated(self, modes):
         _, reports, (url_a, url_b) = modes
-        by_host = reports["hostpool"].remote_evals_by_host
-        assert by_host.get(url_a, 0) > 0
-        assert by_host.get(url_b, 0) > 0
-        assert (
-            sum(by_host.values()) == reports["hostpool"].remote_evals
-        )
+        for mode in ("hostpool", "hostpool-async"):
+            by_host = reports[mode].remote_evals_by_host
+            assert by_host.get(url_a, 0) > 0, mode
+            assert by_host.get(url_b, 0) > 0, mode
+            assert (
+                sum(by_host.values()) == reports[mode].remote_evals
+            ), mode
 
 
 class TestGenerationParity:
@@ -754,6 +911,19 @@ class TestGenerationParity:
                     pipeline=True,
                     out_dir=tmp_path / "pipeline-pool", **self.KW
                 ),
+                "async-pool": run_lottery_sweep(
+                    factory,
+                    service_url=[pool_a.url + "=2", pool_b.url],
+                    generation_dispatch=True, service_batch=True,
+                    async_dispatch=True,
+                    out_dir=tmp_path / "async-pool", **self.KW
+                ),
+                "async-pipeline-pool": run_lottery_sweep(
+                    factory,
+                    service_url=[pool_a.url, pool_b.url],
+                    pipeline=True, async_dispatch=True,
+                    out_dir=tmp_path / "async-pipeline-pool", **self.KW
+                ),
             }
         finally:
             pool_a.stop()
@@ -763,7 +933,10 @@ class TestGenerationParity:
     def test_reports_bit_identical(self, modes):
         _, reports, _ = modes
         reference = _normalized(reports["serial"])
-        for mode in ("generation", "weighted-pool", "pipeline", "pipeline-pool"):
+        for mode in (
+            "generation", "weighted-pool", "pipeline", "pipeline-pool",
+            "async-pool", "async-pipeline-pool",
+        ):
             assert _normalized(reports[mode]) == reference, mode
 
     def test_datasets_byte_identical(self, modes):
@@ -783,7 +956,10 @@ class TestGenerationParity:
         assert shard_names
         for name in shard_names:
             reference = _normalized_shard_bytes(tmp_path / "serial" / name)
-            for mode in ("generation", "weighted-pool", "pipeline", "pipeline-pool"):
+            for mode in (
+                "generation", "weighted-pool", "pipeline", "pipeline-pool",
+                "async-pool", "async-pipeline-pool",
+            ):
                 assert (
                     _normalized_shard_bytes(tmp_path / mode / name) == reference
                 ), f"{mode}/{name}"
@@ -793,8 +969,9 @@ class TestGenerationParity:
         remote evaluation, and the weight-2 host carried the larger
         share of the generations."""
         _, reports, (url_a, url_b) = modes
-        by_host = reports["weighted-pool"].remote_evals_by_host
-        assert by_host.get(url_a, 0) > 0
-        assert by_host.get(url_b, 0) > 0
-        assert sum(by_host.values()) == reports["weighted-pool"].remote_evals
-        assert by_host[url_a] > by_host[url_b]
+        for mode in ("weighted-pool", "async-pool"):
+            by_host = reports[mode].remote_evals_by_host
+            assert by_host.get(url_a, 0) > 0, mode
+            assert by_host.get(url_b, 0) > 0, mode
+            assert sum(by_host.values()) == reports[mode].remote_evals, mode
+            assert by_host[url_a] > by_host[url_b], mode

@@ -13,6 +13,7 @@ Four batteries:
    completes on the survivor, all hosts dead raises a
    :class:`ServiceTransportError` inventory, and server-produced
    errors propagate without quarantine.
+
 3. **Ordered replay** — ``ArchGymEnv.step_batch_stream`` buffers
    chunks that arrive out of order and replays the serial bookkeeping
    in proposal order (byte-identical counters, rewards, and dataset
@@ -20,6 +21,11 @@ Four batteries:
 4. **Pipelined driver parity** — ``run_agent(pipeline=True)`` and a
    full ``--pipeline`` sweep over a slow+fast pool stay byte-identical
    to the serial loop; no design point is recorded twice.
+
+Batteries 1 and 2 are parametrized over both dispatch cores: worker
+threads (the default) and ``async_dispatch=True`` (coroutine tasks on
+one event loop) must be observationally identical — same chunks, same
+counters, same failure surfaces.
 """
 
 import threading
@@ -79,6 +85,26 @@ def slow_fast_services():
     fast.stop()
 
 
+@pytest.fixture(params=["threaded", "async"])
+def dispatch_pool(request):
+    """Pool factory parametrized over both dispatch cores. Streaming
+    mechanics and straggler handling must be observationally identical
+    whether work units ride worker threads or coroutine tasks on the
+    pool's single event loop."""
+    pools = []
+
+    def factory(urls, **kw):
+        pool = HostPool(
+            urls, async_dispatch=(request.param == "async"), **kw
+        )
+        pools.append(pool)
+        return pool
+
+    yield factory
+    for pool in pools:
+        pool.close()
+
+
 def _distinct_actions(n):
     return [{"x": i % 8, "m": "ab"[(i // 8) % 2]} for i in range(n)]
 
@@ -96,9 +122,9 @@ def _reassemble(chunks, n):
 
 
 class TestStreamingMechanics:
-    def test_stream_matches_serial_each_unit_once(self, two_services):
+    def test_stream_matches_serial_each_unit_once(self, two_services, dispatch_pool):
         a, b = two_services
-        pool = HostPool([a.url, b.url], timeout_s=10.0, retries=0)
+        pool = dispatch_pool([a.url, b.url], timeout_s=10.0, retries=0)
         actions = _distinct_actions(16)
         chunks = list(
             pool.evaluate_batch_stream("SvcCounting-v0", actions, unit_size=2)
@@ -110,16 +136,16 @@ class TestStreamingMechanics:
         assert pool.stream_units == 8
         assert sum(pool.evals_by_host.values()) == 16  # winners only
 
-    def test_empty_batch_yields_nothing(self, two_services):
+    def test_empty_batch_yields_nothing(self, two_services, dispatch_pool):
         a, b = two_services
-        pool = HostPool([a.url, b.url], timeout_s=10.0, retries=0)
+        pool = dispatch_pool([a.url, b.url], timeout_s=10.0, retries=0)
         assert list(pool.evaluate_batch_stream("SvcCounting-v0", [])) == []
         assert pool.stream_units == 0
 
-    def test_single_host_delegates_to_whole_batch(self):
+    def test_single_host_delegates_to_whole_batch(self, dispatch_pool):
         svc = _service()
         try:
-            pool = HostPool([svc.url], timeout_s=10.0, retries=0)
+            pool = dispatch_pool([svc.url], timeout_s=10.0, retries=0)
             actions = _distinct_actions(6)
             chunks = list(
                 pool.evaluate_batch_stream(
@@ -134,9 +160,9 @@ class TestStreamingMechanics:
         finally:
             svc.stop()
 
-    def test_tiny_batch_delegates_to_whole_batch(self, two_services):
+    def test_tiny_batch_delegates_to_whole_batch(self, two_services, dispatch_pool):
         a, b = two_services
-        pool = HostPool([a.url, b.url], timeout_s=10.0, retries=0)
+        pool = dispatch_pool([a.url, b.url], timeout_s=10.0, retries=0)
         chunks = list(
             pool.evaluate_batch_stream(
                 "SvcCounting-v0", [{"x": 1, "m": "a"}]
@@ -145,9 +171,9 @@ class TestStreamingMechanics:
         assert len(chunks) == 1
         assert pool.stream_units == 0
 
-    def test_bad_unit_size_rejected(self, two_services):
+    def test_bad_unit_size_rejected(self, two_services, dispatch_pool):
         a, b = two_services
-        pool = HostPool([a.url, b.url], timeout_s=10.0, retries=0)
+        pool = dispatch_pool([a.url, b.url], timeout_s=10.0, retries=0)
         with pytest.raises(ServiceError, match="unit_size"):
             list(
                 pool.evaluate_batch_stream(
@@ -175,13 +201,13 @@ class TestStreamingMechanics:
 
 class TestStragglerFaultInjection:
     def test_idle_host_steals_the_stragglers_remainder(
-        self, slow_fast_services
+        self, slow_fast_services, dispatch_pool
     ):
         """The fast host drains the queue, then re-dispatches the slow
         host's in-flight unit instead of idling behind it — and the
         stream finishes without waiting for the straggler's request."""
         slow, fast = slow_fast_services
-        pool = HostPool([slow.url, fast.url], timeout_s=30.0, retries=0)
+        pool = dispatch_pool([slow.url, fast.url], timeout_s=30.0, retries=0)
         actions = _distinct_actions(16)
         start = time.perf_counter()
         chunks = list(
@@ -199,7 +225,7 @@ class TestStragglerFaultInjection:
         # no matter how many duplicates the straggler eventually answers.
         assert sum(pool.evals_by_host.values()) == 16
 
-    def test_host_death_mid_stream_requeues_its_unit(self):
+    def test_host_death_mid_stream_requeues_its_unit(self, dispatch_pool):
         """A host whose transport dies mid-stream is quarantined and its
         unfinished unit completes on the survivor — every point answered
         exactly once, like the scatter failover battery."""
@@ -220,7 +246,7 @@ class TestStragglerFaultInjection:
         url_a = svc_a.start()
         svc_b = _service()
         try:
-            pool = HostPool(
+            pool = dispatch_pool(
                 [url_a, svc_b.url], timeout_s=5.0, retries=0, backoff_s=0.01
             )
             actions = _distinct_actions(16)
@@ -238,9 +264,9 @@ class TestStragglerFaultInjection:
             svc_a.stop()
             svc_b.stop()
 
-    def test_all_hosts_dead_raises_with_outstanding_inventory(self):
+    def test_all_hosts_dead_raises_with_outstanding_inventory(self, dispatch_pool):
         urls = [f"http://127.0.0.1:{_free_port()}" for _ in range(2)]
-        pool = HostPool(urls, timeout_s=0.5, retries=0, backoff_s=0.01)
+        pool = dispatch_pool(urls, timeout_s=0.5, retries=0, backoff_s=0.01)
         with pytest.raises(ServiceTransportError) as excinfo:
             list(
                 pool.evaluate_batch_stream(
@@ -252,9 +278,9 @@ class TestStragglerFaultInjection:
         for url in urls:
             assert url in message
 
-    def test_server_error_propagates_without_quarantine(self, two_services):
+    def test_server_error_propagates_without_quarantine(self, two_services, dispatch_pool):
         a, b = two_services
-        pool = HostPool([a.url, b.url], timeout_s=10.0, retries=0)
+        pool = dispatch_pool([a.url, b.url], timeout_s=10.0, retries=0)
         with pytest.raises(ServiceError, match="unknown environment") as excinfo:
             list(
                 pool.evaluate_batch_stream(
